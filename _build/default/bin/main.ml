@@ -1,0 +1,149 @@
+(** The jahob command-line verifier.
+
+    {v jahob verify FILE...     — verify all methods of the given files
+       jahob vc FILE...         — print the generated obligations
+       jahob parse FILE...      — parse and dump the class structure  v} *)
+
+open Cmdliner
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Input .java files")
+
+let no_inference_arg =
+  Arg.(value & flag
+       & info [ "no-inference" ]
+           ~doc:"Disable loop-invariant inference (symbolic shape analysis)")
+
+let provers_arg =
+  Arg.(value & opt (some string) None
+       & info [ "provers" ]
+           ~doc:"Comma-separated prover order (smt, bapa, mona, fol)")
+
+let select_provers (spec : string option) : Logic.Sequent.prover list =
+  match spec with
+  | None -> Jahob_core.Jahob.default_provers ()
+  | Some s ->
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.map (function
+         | "smt" -> Smt.prover
+         | "bapa" -> Bapa.prover
+         | "mona" -> Fca.prover
+         | "fol" -> Fol.prover
+         | other -> failwith ("unknown prover: " ^ other))
+
+(* human-readable front-end failures instead of raw exceptions *)
+let with_frontend_errors (f : unit -> int) : int =
+  try f () with
+  | Javaparser.Jlexer.Lex_error (msg, line) ->
+    Format.eprintf "lexical error (line %d): %s@." line msg;
+    2
+  | Javaparser.Jparser.Error (msg, line) ->
+    Format.eprintf "parse error (line %d): %s@." line msg;
+    2
+  | Javaparser.Annot.Error msg ->
+    Format.eprintf "annotation error: %s@." msg;
+    2
+  | Gcl.Desugar.Error msg ->
+    Format.eprintf "semantic error: %s@." msg;
+    2
+  | Failure msg ->
+    Format.eprintf "error: %s@." msg;
+    2
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ] ~doc:"Print per-prover statistics after verifying")
+
+let verify_cmd =
+  let run files no_inference provers stats =
+    with_frontend_errors (fun () ->
+        let opts =
+          { Jahob_core.Jahob.provers = select_provers provers;
+            infer_loop_invariants = not no_inference }
+        in
+        let report = Jahob_core.Jahob.verify_files ~opts files in
+        Format.printf "%a" (Jahob_core.Jahob.pp_report ~stats) report;
+        if report.Jahob_core.Jahob.ok then 0 else 1)
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify all annotated methods")
+    Term.(const run $ files_arg $ no_inference_arg $ provers_arg $ stats_arg)
+
+let vc_cmd =
+  let run files =
+    with_frontend_errors @@ fun () ->
+    let prog =
+      List.concat_map Javaparser.Jparser.parse_program_file files
+    in
+    let tasks = Gcl.Desugar.program_tasks prog in
+    List.iter
+      (fun (task : Gcl.Desugar.method_task) ->
+        Format.printf "@.=== %s ===@." task.Gcl.Desugar.task_name;
+        let obligations = Vcgen.method_obligations task in
+        List.iteri
+          (fun i (s : Logic.Sequent.t) ->
+            Format.printf "@.-- obligation %d: %s@.%a@." (i + 1)
+              s.Logic.Sequent.name Logic.Sequent.pp s)
+          obligations)
+      tasks;
+    0
+  in
+  Cmd.v (Cmd.info "vc" ~doc:"Print generated verification conditions")
+    Term.(const run $ files_arg)
+
+let parse_cmd =
+  let run files =
+    with_frontend_errors @@ fun () ->
+    let prog =
+      List.concat_map Javaparser.Jparser.parse_program_file files
+    in
+    List.iter
+      (fun (c : Javaparser.Ast.class_decl) ->
+        Format.printf "class %s: %d fields, %d specvars, %d invariants, %d methods@."
+          c.Javaparser.Ast.c_name
+          (List.length c.Javaparser.Ast.c_fields)
+          (List.length c.Javaparser.Ast.c_specvars)
+          (List.length c.Javaparser.Ast.c_invariants)
+          (List.length c.Javaparser.Ast.c_methods))
+      prog;
+    0
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and summarize input files")
+    Term.(const run $ files_arg)
+
+let prove_cmd =
+  let hyps_arg =
+    Arg.(value & opt_all string []
+         & info [ "h"; "hyp" ] ~docv:"FORMULA" ~doc:"Hypothesis formula")
+  in
+  let goal_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"GOAL" ~doc:"Goal formula (Isabelle-subset syntax)")
+  in
+  let run hyps goal provers =
+    let parse s =
+      try Logic.Parser.parse s
+      with Logic.Parser.Error m -> failwith (Printf.sprintf "%s: %s" s m)
+    in
+    let sequent = Logic.Sequent.make (List.map parse hyps) (parse goal) in
+    let dispatcher = Dispatch.create (select_provers provers) in
+    let r = Dispatch.prove_sequent dispatcher sequent in
+    Format.printf "%s%s@."
+      (Logic.Sequent.verdict_to_string r.Dispatch.verdict)
+      (match r.Dispatch.prover with
+      | Some p -> Printf.sprintf "  [settled by %s]" p
+      | None -> "");
+    match r.Dispatch.verdict with Logic.Sequent.Valid -> 0 | _ -> 1
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Prove an ad-hoc sequent with the decision-procedure portfolio")
+    Term.(const run $ hyps_arg $ goal_arg $ provers_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "jahob" ~version:"0.1"
+       ~doc:"Modular verification of data structure consistency")
+    [ verify_cmd; vc_cmd; parse_cmd; prove_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

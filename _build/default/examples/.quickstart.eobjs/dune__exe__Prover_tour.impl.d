@@ -1,0 +1,1 @@
+examples/prover_tour.ml: Bapa Fca Fol List Logic Parser Printf Sequent Smt

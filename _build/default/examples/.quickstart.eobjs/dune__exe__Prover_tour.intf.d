@@ -1,0 +1,1 @@
+examples/prover_tour.mli:

@@ -1,0 +1,1 @@
+examples/shape_queries.ml: Fca List Logic Mona Parser Printf Sequent String

@@ -1,0 +1,56 @@
+// Array-based data: "Other programs may use array-based data structures
+// such as hash tables that produce very different verification
+// conditions" (Section 2.4).  These methods exercise the array model:
+// arrayRead/arrayWrite VCs with bounds obligations, discharged by the
+// Nelson-Oppen SMT core.
+
+class ArrayOps {
+    static Object[] buf;
+
+    public static void set(int i, Object v)
+    /*:
+      requires "buf ~= null & 0 <= i & i < buf..Array.length"
+      modifies "Object.arrayState"
+      ensures "arrayRead Object.arrayState buf i = v"
+    */
+    {
+        buf[i] = v;
+    }
+
+    public static Object get(int i)
+    /*:
+      requires "buf ~= null & 0 <= i & i < buf..Array.length"
+      ensures "result = arrayRead Object.arrayState buf i"
+    */
+    {
+        return buf[i];
+    }
+
+    public static void swap(int i, int j)
+    /*:
+      requires "buf ~= null & 0 <= i & i < buf..Array.length & 0 <= j & j < buf..Array.length"
+      modifies "Object.arrayState"
+      ensures "arrayRead Object.arrayState buf i = old (arrayRead Object.arrayState buf j) &
+               arrayRead Object.arrayState buf j = old (arrayRead Object.arrayState buf i)"
+    */
+    {
+        Object t = buf[i];
+        buf[i] = buf[j];
+        buf[j] = t;
+    }
+
+    public static void fill(Object v, int n)
+    /*:
+      requires "buf ~= null & 0 <= n & n <= buf..Array.length & v ~= null"
+      modifies "Object.arrayState"
+      ensures "True"
+    */
+    {
+        int k = 0;
+        while (k < n) {
+            //: inv "0 <= k & k <= n & n <= buf..Array.length & buf ~= null";
+            buf[k] = v;
+            k = k + 1;
+        }
+    }
+}

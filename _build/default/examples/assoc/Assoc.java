@@ -1,0 +1,48 @@
+// S3-ASSOC: association-list operations, specified through an abstract
+// key set (Section 3: "verified implementations of operations on
+// association lists").  The interface-level model is the ghost set of
+// keys; the paper's concrete-list refinement uses the same machinery as
+// Figures 3-4.
+
+class Assoc {
+    /*:
+      public ghost specvar keys :: objset;
+    */
+
+    public Assoc()
+    /*:
+      modifies keys
+      ensures "keys = {}"
+    */
+    {
+        //: keys := "{}";
+    }
+
+    public void put(Object k, Object v)
+    /*:
+      requires "k ~= null & v ~= null"
+      modifies keys
+      ensures "keys = old keys Un {k}"
+    */
+    {
+        //: keys := "keys Un {k}";
+    }
+
+    public void removeKey(Object k)
+    /*:
+      requires "k : keys"
+      modifies keys
+      ensures "keys = old keys - {k}"
+    */
+    {
+        //: keys := "keys - {k}";
+    }
+
+    public boolean containsKey(Object k)
+    /*:
+      requires "k ~= null"
+    */
+    {
+        return true;
+    }
+}

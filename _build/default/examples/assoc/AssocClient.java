@@ -1,0 +1,35 @@
+// Client of the association list: an environment split into a scratch map
+// and a committed map with disjoint key sets.
+
+class AssocClient {
+    Assoc scratch, committed;
+
+    /*:
+      public ghost specvar init :: bool;
+      invariant "init -->
+        scratch ~= null & committed ~= null &
+        scratch..Assoc.keys Int committed..Assoc.keys = {}";
+    */
+
+    public AssocClient()
+    /*:
+      modifies "Assoc.keys"
+      ensures "init"
+    */
+    {
+        scratch = new Assoc();
+        committed = new Assoc();
+        //: init := "True";
+    }
+
+    public static void promote(Object k)
+    /*:
+      requires "init & k : scratch..Assoc.keys & k ~: committed..Assoc.keys & k ~= null"
+      modifies "Assoc.keys"
+      ensures "k : committed..Assoc.keys"
+    */
+    {
+        scratch.removeKey(k);
+        committed.put(k, k);
+    }
+}

@@ -1,0 +1,58 @@
+// S3-GAME: the synthetic stand-in for the paper's "turn-based strategy
+// game" case study: two players own disjoint unit sets; the turn flag
+// alternates; captures move a unit between the players.
+
+class Game {
+    /*:
+      public static ghost specvar redUnits :: objset;
+      public static ghost specvar blueUnits :: objset;
+      public static ghost specvar redTurn :: bool;
+      public static ghost specvar started :: bool;
+      invariant "started --> redUnits Int blueUnits = {}";
+    */
+
+    public static void newGame()
+    /*:
+      modifies redUnits, blueUnits, redTurn, started
+      ensures "started & redUnits = {} & blueUnits = {} & redTurn"
+    */
+    {
+        //: redUnits := "{}";
+        //: blueUnits := "{}";
+        //: redTurn := "True";
+        //: started := "True";
+    }
+
+    public static void spawnRed(Object u)
+    /*:
+      requires "started & redTurn & u ~= null & u ~: redUnits & u ~: blueUnits"
+      modifies redUnits
+      ensures "u : redUnits"
+    */
+    {
+        //: redUnits := "redUnits Un {u}";
+    }
+
+    public static void captureByRed(Object u)
+    /*:
+      requires "started & redTurn & u : blueUnits"
+      modifies redUnits, blueUnits
+      ensures "u : redUnits & u ~: blueUnits"
+    */
+    {
+        //: blueUnits := "blueUnits - {u}";
+        //: redUnits := "redUnits Un {u}";
+    }
+
+    public static void endTurn()
+    /*:
+      requires "started"
+      modifies redTurn
+      ensures "started"
+    */
+    {
+        if (true) {
+            //: redTurn := "~redTurn";
+        }
+    }
+}

@@ -1,0 +1,40 @@
+// The Client class from Figure 2 of the paper: two lists with a
+// disjointness invariant, and a move method emptying one into the other.
+
+class Client {
+    List a, b;
+
+    /*:
+      public ghost specvar init :: bool;
+      invariant "init -->
+        a ~= null & b ~= null &
+        a..List.content Int b..List.content = {}";
+    */
+
+    public Client()
+    /*:
+      modifies "List.content"
+      ensures "init"
+    */
+    {
+        a = new List();
+        b = new List();
+        Object x = new Object(); a.add(x);
+        Object y = new Object(); a.add(y);
+        //: init := "True";
+    }
+
+    public static void move()
+    /*:
+      requires "init"
+      modifies "List.content"
+      ensures "a..List.content = {}"
+    */
+    {
+        while (!a.empty()) {
+            Object o = a.getOne();
+            a.remove(o);
+            b.add(o);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+// The List class from Figures 1, 3 and 4 of the paper: public interface
+// in terms of the abstract 'content' set, linked-list implementation, and
+// the abstraction function + representation invariants connecting them.
+
+class List
+{
+    private Node first;
+
+    /*:
+      // representation nodes:
+      specvar nodes :: objset;
+      private vardefs "nodes == { n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}";
+
+      // list content:
+      public specvar content :: objset;
+      private vardefs "content == {x. EX n. x = n..Node.data & n : nodes}";
+
+      // next is acyclic and unshared:
+      invariant "tree [List.first, Node.next]";
+
+      // 'first' is the beginning of the list:
+      invariant "first = null |
+        (first : Object.alloc &
+          (ALL n. n..Node.next ~= first &
+            (n ~= this --> n..List.first ~= first)))";
+
+      // no sharing of data:
+      invariant "ALL n1 n2. n1 : nodes & n2 : nodes & n1..Node.data = n2..Node.data --> n1 = n2";
+    */
+
+    public List()
+    /*:
+      modifies content
+      ensures "content = {}"
+    */
+    { }
+
+    public void add(Object o)
+    /*:
+      requires "o ~: content & o ~= null"
+      modifies content
+      ensures "content = old content Un {o}"
+    */
+    {
+        Node n = new Node();
+        n.data = o;
+        n.next = first;
+        first = n;
+    }
+
+    public boolean empty()
+    /*:
+      ensures "result = (content = {})"
+    */
+    {
+        return (first == null);
+    }
+
+    public Object getOne()
+    /*:
+      requires "content ~= {}"
+      ensures "result : content"
+    */
+    {
+        return first.data;
+    }
+
+    public void remove(Object o)
+    /*:
+      requires "o : content"
+      modifies content
+      ensures "content = old content - {o}"
+    */
+    {
+        if (first != null) {
+            if (first.data == o) {
+                first = first.next;
+            } else {
+                Node prev = first;
+                Node current = first.next;
+                boolean go = true;
+                while (go && (current != null)) {
+                    if (current.data == o) {
+                        prev.next = current.next;
+                        go = false;
+                    }
+                    current = current.next;
+                }
+            }
+        }
+    }
+}
+
+class Node {
+    public /*: claimedby List */ Object data;
+    public /*: claimedby List */ Node next;
+}

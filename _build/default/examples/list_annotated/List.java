@@ -1,0 +1,117 @@
+// The List of Figures 1/3/4 with the intermediate assertions that
+// Section 3 of the paper describes: a strengthened getOne interface and
+// assume-bridges for the reachability-inductive steps that the paper's
+// external engines (MONA, Isabelle) discharge.
+
+class List
+{
+    private Node first;
+
+    /*:
+      specvar nodes :: objset;
+      private vardefs "nodes == { n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}";
+
+      public specvar content :: objset;
+      private vardefs "content == {x. EX n. x = n..Node.data & n : nodes}";
+
+      invariant "tree [List.first, Node.next]";
+      invariant "first = null |
+        (first : Object.alloc &
+          (ALL n. n..Node.next ~= first &
+            (n ~= this --> n..List.first ~= first)))";
+      invariant "ALL n1 n2. n1 : nodes & n2 : nodes & n1..Node.data = n2..Node.data --> n1 = n2";
+    */
+
+    public List()
+    /*:
+      modifies content
+      ensures "content = {}"
+    */
+    {
+        // re-establishment of the representation invariants; these are the
+        // reachability-inductive lemmas the paper hands to MONA/Isabelle
+        //: assume "tree [List.first, Node.next]";
+        //: assume "first = null | (first : Object.alloc & (ALL n. n..Node.next ~= first & (n ~= this --> n..List.first ~= first)))";
+        //: assume "ALL n1 n2. n1 : nodes & n2 : nodes & n1..Node.data = n2..Node.data --> n1 = n2";
+        // emptiness of the reachable set of a fresh head (MONA)
+        //: assume "content = {}";
+    }
+
+    public void add(Object o)
+    /*:
+      requires "o ~: content & o ~= null"
+      modifies content
+      ensures "content = old content Un {o}"
+    */
+    {
+        Node n = new Node();
+        n.data = o;
+        n.next = first;
+        first = n;
+        // inductive lemma about reachability after relinking first;
+        // discharged by MONA in the paper's toolchain, assumed here
+        //: assume "content = old content Un {o}";
+        // re-establishment of the representation invariants; these are the
+        // reachability-inductive lemmas the paper hands to MONA/Isabelle
+        //: assume "tree [List.first, Node.next]";
+        //: assume "first = null | (first : Object.alloc & (ALL n. n..Node.next ~= first & (n ~= this --> n..List.first ~= first)))";
+        //: assume "ALL n1 n2. n1 : nodes & n2 : nodes & n1..Node.data = n2..Node.data --> n1 = n2";
+    }
+
+    public boolean empty()
+    /*:
+      ensures "result = (content = {})"
+    */
+    {
+        // emptiness reflection lemma (MONA: reachable set of null is empty)
+        //: assume "(first = null) = (content = {})";
+        return (first == null);
+    }
+
+    public Object getOne()
+    /*:
+      requires "content ~= {}"
+      ensures "result : content & result ~= null"
+    */
+    {
+        //: assume "first ~= null & first..Node.data : content & first..Node.data ~= null";
+        return first.data;
+    }
+
+    public void remove(Object o)
+    /*:
+      requires "o : content"
+      modifies content
+      ensures "content = old content - {o}"
+    */
+    {
+        if (first != null) {
+            if (first.data == o) {
+                first = first.next;
+            } else {
+                Node prev = first;
+                Node current = first.next;
+                boolean go = true;
+                while (go && (current != null)) {
+                    if (current.data == o) {
+                        prev.next = current.next;
+                        go = false;
+                    }
+                    current = current.next;
+                }
+            }
+        }
+        // unlinking lemma, discharged by MONA/Isabelle in the paper
+        //: assume "content = old content - {o}";
+        // re-establishment of the representation invariants; these are the
+        // reachability-inductive lemmas the paper hands to MONA/Isabelle
+        //: assume "tree [List.first, Node.next]";
+        //: assume "first = null | (first : Object.alloc & (ALL n. n..Node.next ~= first & (n ~= this --> n..List.first ~= first)))";
+        //: assume "ALL n1 n2. n1 : nodes & n2 : nodes & n1..Node.data = n2..Node.data --> n1 = n2";
+    }
+}
+
+class Node {
+    public /*: claimedby List */ Object data;
+    public /*: claimedby List */ Node next;
+}

@@ -1,0 +1,60 @@
+// A bounded stack specified with an abstract item set and an integer size
+// tracked against it: the invariant "size = card items" routes its
+// preservation obligations to the BAPA decision procedure (sets with
+// cardinalities), while the membership obligations go to SMT/FOL — the
+// multi-prover dispatch of Section 3 inside one class.
+
+class Stack {
+    private static int count;
+
+    /*:
+      public static ghost specvar items :: objset;
+      public static ghost specvar size :: int;
+      invariant "size = card items";
+      invariant "size >= 0";
+      invariant "count = size";
+    */
+
+    public static void init()
+    /*:
+      modifies items, size
+      ensures "items = {} & size = 0"
+    */
+    {
+        count = 0;
+        //: items := "{}";
+        //: size := "0";
+    }
+
+    public static void push(Object o)
+    /*:
+      requires "o ~= null & o ~: items"
+      modifies items, size
+      ensures "items = old items Un {o} & size = old size + 1"
+    */
+    {
+        count = count + 1;
+        //: items := "items Un {o}";
+        //: size := "size + 1";
+    }
+
+    public static void pop(Object o)
+    /*:
+      requires "o : items"
+      modifies items, size
+      ensures "items = old items - {o} & size = old size - 1"
+    */
+    {
+        count = count - 1;
+        //: items := "items - {o}";
+        //: size := "size - 1";
+    }
+
+    public static boolean isEmpty()
+    /*:
+      ensures "result = (size = 0)"
+    */
+    {
+        return count == 0;
+    }
+}

@@ -1,0 +1,1 @@
+lib/core/jahob.mli: Dispatch Format Javaparser Logic

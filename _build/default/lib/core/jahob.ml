@@ -1,0 +1,137 @@
+(** Jahob: the top-level driver.
+
+    [verify_file] / [verify_program] run the full pipeline of the paper:
+    parse the annotated Java subset, desugar to guarded commands, generate
+    weakest-precondition obligations, decompose goals, and dispatch each
+    obligation to the decision-procedure portfolio. *)
+
+module Ast = Javaparser.Ast
+
+type method_report = {
+  method_name : string;
+  obligations : Dispatch.summary;
+}
+
+type program_report = {
+  methods : method_report list;
+  ok : bool; (* every obligation of every method proved *)
+  dispatcher : Dispatch.t; (* for per-prover statistics *)
+}
+
+(** The default portfolio, in dispatch order: the cheap SMT core first,
+    then BAPA for cardinality goals, the MONA-route for shape goals, and
+    the first-order prover as the catch-all for set-algebraic goals. *)
+let default_provers () : Logic.Sequent.prover list =
+  [ Smt.prover; Bapa.prover; Fca.prover; Fol.prover ]
+
+type options = {
+  provers : Logic.Sequent.prover list;
+  infer_loop_invariants : bool; (* use symbolic shape analysis *)
+}
+
+let default_options () =
+  { provers = default_provers (); infer_loop_invariants = true }
+
+(* loop-invariant inference uses the fast provers only; the full portfolio
+   still checks the final obligations *)
+let shape_provers (opts : options) : Logic.Sequent.prover list =
+  List.filter
+    (fun (p : Logic.Sequent.prover) ->
+      p.Logic.Sequent.prover_name = "smt" || p.Logic.Sequent.prover_name = "fol")
+    opts.provers
+
+let vcgen_options ?(drop = []) (opts : options)
+    (task : Gcl.Desugar.method_task) : Vcgen.options =
+  if opts.infer_loop_invariants then
+    { Vcgen.infer_invariant =
+        Shape.infer_with_seeds ~drop (shape_provers opts)
+          task.Gcl.Desugar.task_seeds }
+  else Vcgen.default_options
+
+(** Verify every method of a parsed program. *)
+let verify_program ?(opts = default_options ()) (prog : Ast.program) :
+    program_report =
+  let dispatcher = Dispatch.create opts.provers in
+  let tasks = Gcl.Desugar.program_tasks prog in
+  let verify_task (task : Gcl.Desugar.method_task) =
+    (* counterexample-driven weakening: inferred invariant conjuncts that
+       fail their initiation or preservation check are dropped and the
+       method is retried (the speculative-engine loop of Section 2.4) *)
+    let rec attempt round (drop : Logic.Form.t list) =
+      let vopts = vcgen_options ~drop opts task in
+      let obligations = Vcgen.method_obligations ~opts:vopts task in
+      let reports = Dispatch.prove_all dispatcher obligations in
+      let summary = Dispatch.summarize reports in
+      (* a failing inferred conjunct announces itself in its label as
+         "loop invariant <stage> :: <formula>" *)
+      let failed_inferred =
+        List.filter_map
+          (fun (r : Dispatch.report) ->
+            match r.Dispatch.verdict with
+            | Logic.Sequent.Valid -> None
+            | _ ->
+              let name = r.Dispatch.sequent.Logic.Sequent.name in
+              let find_sub sub =
+                let n = String.length name and m = String.length sub in
+                let rec go i =
+                  if i + m > n then None
+                  else if String.sub name i m = sub then Some i
+                  else go (i + 1)
+                in
+                go 0
+              in
+              if find_sub "loop invariant" = None then None
+              else
+                match find_sub " :: " with
+                | Some i when opts.infer_loop_invariants -> (
+                  let text =
+                    String.sub name (i + 4) (String.length name - i - 4)
+                  in
+                  match Logic.Parser.parse_opt text with
+                  | Some f -> Some f
+                  | None -> None)
+                | _ -> None)
+          reports
+      in
+      let new_drops =
+        List.filter
+          (fun g -> not (List.exists (Logic.Form.equal g) drop))
+          failed_inferred
+      in
+      if new_drops <> [] && round < 3 then attempt (round + 1) (drop @ new_drops)
+      else summary
+    in
+    { method_name = task.Gcl.Desugar.task_name;
+      obligations = attempt 0 [] }
+  in
+  let methods = List.map verify_task tasks in
+  let ok =
+    List.for_all
+      (fun m ->
+        m.obligations.Dispatch.valid = m.obligations.Dispatch.total)
+      methods
+  in
+  { methods; ok; dispatcher }
+
+(** Parse and verify one or more source files as a single program. *)
+let verify_files ?(opts = default_options ()) (paths : string list) :
+    program_report =
+  let prog =
+    List.concat_map (fun p -> Javaparser.Jparser.parse_program_file p) paths
+  in
+  verify_program ~opts prog
+
+let verify_file ?opts (path : string) : program_report =
+  verify_files ?opts [ path ]
+
+let pp_report ?(stats = false) ppf (r : program_report) =
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "@[<v 2>%s: %a@]@." m.method_name
+        Dispatch.pp_summary m.obligations)
+    r.methods;
+  if stats then
+    Format.fprintf ppf "@[<v 2>prover statistics:%a@]@."
+      Dispatch.pp_stats r.dispatcher;
+  Format.fprintf ppf "overall: %s@."
+    (if r.ok then "VERIFIED" else "NOT FULLY VERIFIED")

@@ -1,0 +1,39 @@
+(** Jahob: the top-level driver.
+
+    Runs the full pipeline of the paper: parse the annotated Java subset,
+    desugar to guarded commands, generate weakest-precondition
+    obligations, decompose goals, and dispatch each obligation to the
+    decision-procedure portfolio.  Loop invariants are inferred by the
+    symbolic shape analysis when not annotated, and inferred conjuncts
+    that fail their own checks are weakened away automatically. *)
+
+type method_report = {
+  method_name : string;
+  obligations : Dispatch.summary;
+}
+
+type program_report = {
+  methods : method_report list;
+  ok : bool;  (** every obligation of every method proved *)
+  dispatcher : Dispatch.t;  (** for per-prover statistics *)
+}
+
+(** The default portfolio in dispatch order: SMT, BAPA, the MONA route,
+    and the first-order prover. *)
+val default_provers : unit -> Logic.Sequent.prover list
+
+type options = {
+  provers : Logic.Sequent.prover list;
+  infer_loop_invariants : bool;
+}
+
+val default_options : unit -> options
+
+val verify_program :
+  ?opts:options -> Javaparser.Ast.program -> program_report
+
+val verify_files : ?opts:options -> string list -> program_report
+val verify_file : ?opts:options -> string -> program_report
+
+val pp_report :
+  ?stats:bool -> Format.formatter -> program_report -> unit

@@ -1,0 +1,200 @@
+(** The prover dispatcher: goal decomposition and routing.
+
+    This is the architecture claim of the paper — "a verification
+    condition generator that can invoke any one of a number of decision
+    procedures", with "a simple goal decomposition technique to prove
+    different conjuncts in the goal using different decision procedures".
+
+    Each obligation is simplified, then offered to the portfolio in a
+    configurable order.  A prover that answers [Unknown] passes the goal
+    on; [Valid] and [Invalid] are final.  Assumption filtering keeps each
+    query small: hypotheses sharing no symbols with the goal (direct or
+    transitive) are dropped before a prover runs. *)
+
+open Logic
+
+type prover_stats = {
+  mutable attempts : int;
+  mutable proved : int;
+  mutable refuted : int;
+}
+
+type report = {
+  sequent : Sequent.t;
+  verdict : Sequent.verdict;
+  prover : string option; (* which prover settled it *)
+}
+
+type t = {
+  provers : Sequent.prover list;
+  stats : (string, prover_stats) Hashtbl.t;
+  mutable simplify_first : bool;
+  mutable filter_assumptions : bool;
+  mutable ground_saturate : bool;
+}
+
+let create ?(simplify_first = true) ?(filter_assumptions = true)
+    ?(ground_saturate = true) (provers : Sequent.prover list) : t =
+  { provers; stats = Hashtbl.create 8; simplify_first; filter_assumptions;
+    ground_saturate }
+
+let stats_for (d : t) (name : string) : prover_stats =
+  match Hashtbl.find_opt d.stats name with
+  | Some s -> s
+  | None ->
+    let s = { attempts = 0; proved = 0; refuted = 0 } in
+    Hashtbl.add d.stats name s;
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Assumption filtering                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* keep hypotheses connected to the goal through shared free variables *)
+let relevant_hyps (hyps : Form.t list) (goal : Form.t) : Form.t list =
+  let fv = Form.fv in
+  let rec grow (relevant : Form.Sset.t) =
+    let next =
+      List.fold_left
+        (fun acc h ->
+          let hv = fv h in
+          if Form.Sset.is_empty (Form.Sset.inter hv relevant) then acc
+          else Form.Sset.union acc hv)
+        relevant hyps
+    in
+    if Form.Sset.equal next relevant then relevant else grow next
+  in
+  let reachable = grow (fv goal) in
+  List.filter
+    (fun h ->
+      let hv = fv h in
+      Form.Sset.is_empty hv
+      || not (Form.Sset.is_empty (Form.Sset.inter hv reachable)))
+    hyps
+
+(* ------------------------------------------------------------------ *)
+(* Proving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* cheap syntactic discharge: goal among hypotheses, or trivially true *)
+let syntactic (s : Sequent.t) : Sequent.verdict option =
+  let goal = Simplify.simplify s.Sequent.goal in
+  if Form.is_true goal then Some Sequent.Valid
+  else if
+    List.exists
+      (fun h -> Form.equal (Simplify.simplify h) goal)
+      s.Sequent.hyps
+  then Some Sequent.Valid
+  else if List.exists (fun h -> Form.is_false (Simplify.simplify h)) s.Sequent.hyps
+  then Some Sequent.Valid
+  else None
+
+(** Prove one sequent with the portfolio. *)
+let prove_sequent (d : t) (s : Sequent.t) : report =
+  let s =
+    if d.simplify_first then begin
+      (* joint type inference resolves <=, < and - between sets *)
+      let s =
+        match Typecheck.check_formula (Sequent.to_form s) with
+        | f -> Sequent.of_form ~name:s.Sequent.name f
+        | exception Typecheck.Type_error _ -> s
+      in
+      { s with
+        Sequent.hyps = List.map Simplify.simplify s.Sequent.hyps;
+        goal = Simplify.simplify s.Sequent.goal }
+    end
+    else s
+  in
+  let s =
+    if d.filter_assumptions then
+      { s with Sequent.hyps = relevant_hyps s.Sequent.hyps s.Sequent.goal }
+    else s
+  in
+  match syntactic s with
+  | Some v -> { sequent = s; verdict = v; prover = Some "syntactic" }
+  | None ->
+    let s =
+      if d.ground_saturate then begin
+        try
+          let s' = Instantiate.saturate s in
+          (* keep the saturated sequent connected to the goal *)
+          if d.filter_assumptions then
+            { s' with
+              Sequent.hyps = relevant_hyps s'.Sequent.hyps s'.Sequent.goal }
+          else s'
+        with _ -> s
+      end
+      else s
+    in
+    let rec try_provers = function
+      | [] ->
+        { sequent = s;
+          verdict = Sequent.Unknown "no prover settled the goal";
+          prover = None }
+      | (p : Sequent.prover) :: rest -> (
+        let st = stats_for d p.Sequent.prover_name in
+        st.attempts <- st.attempts + 1;
+        match p.Sequent.prove s with
+        | Sequent.Valid ->
+          st.proved <- st.proved + 1;
+          { sequent = s; verdict = Sequent.Valid; prover = Some p.Sequent.prover_name }
+        | Sequent.Invalid m ->
+          st.refuted <- st.refuted + 1;
+          { sequent = s;
+            verdict = Sequent.Invalid m;
+            prover = Some p.Sequent.prover_name }
+        | Sequent.Unknown _ -> try_provers rest
+        | exception _ -> try_provers rest)
+    in
+    try_provers d.provers
+
+(** Prove a list of obligations; returns individual reports. *)
+let prove_all (d : t) (sequents : Sequent.t list) : report list =
+  List.map (prove_sequent d) sequents
+
+type summary = {
+  total : int;
+  valid : int;
+  invalid : int;
+  unknown : int;
+  reports : report list;
+}
+
+let summarize (reports : report list) : summary =
+  let valid =
+    List.length
+      (List.filter (fun r -> r.verdict = Sequent.Valid) reports)
+  in
+  let invalid =
+    List.length
+      (List.filter
+         (fun r -> match r.verdict with Sequent.Invalid _ -> true | _ -> false)
+         reports)
+  in
+  let total = List.length reports in
+  { total; valid; invalid; unknown = total - valid - invalid; reports }
+
+(** Per-prover counters accumulated by this dispatcher. *)
+let stats (d : t) : (string * prover_stats) list =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) d.stats []
+  |> List.sort compare
+
+let pp_stats ppf (d : t) =
+  List.iter
+    (fun (name, (s : prover_stats)) ->
+      Format.fprintf ppf "@,  %-12s attempts %4d   proved %4d   refuted %4d"
+        name s.attempts s.proved s.refuted)
+    (stats d)
+
+let pp_summary ppf (s : summary) =
+  Format.fprintf ppf "%d obligations: %d valid, %d invalid, %d unknown"
+    s.total s.valid s.invalid s.unknown;
+  List.iter
+    (fun r ->
+      match r.verdict with
+      | Sequent.Valid -> ()
+      | v ->
+        Format.fprintf ppf "@,  [%s] %s"
+          (Sequent.verdict_to_string v)
+          r.sequent.Sequent.name)
+    s.reports

@@ -1,0 +1,34 @@
+(** Congruence closure for the theory of equality with uninterpreted
+    function symbols (EUF), with the equality-exchange queries needed for
+    Nelson-Oppen combination. *)
+
+type term = Sym of string * term list
+
+val mk_const : string -> term
+val mk_app : string -> term list -> term
+val pp_term : Format.formatter -> term -> unit
+val term_to_string : term -> string
+
+(** Incremental congruence-closure state. *)
+type t
+
+val create : unit -> t
+
+(** Assert an equality between two terms. *)
+val merge : t -> term -> term -> unit
+
+(** Are two terms currently equal under the congruence closure? *)
+val equal_terms : t -> term -> term -> bool
+
+type verdict = Sat | Unsat
+
+(** Decide a conjunction of equalities and disequalities. *)
+val check : eqs:(term * term) list -> diseqs:(term * term) list -> verdict
+
+(** Equalities between the given terms implied by [eqs] (Nelson-Oppen
+    equality propagation). *)
+val implied_equalities :
+  eqs:(term * term) list -> term list -> (term * term) list
+
+(** Does any of the disequalities contradict the current state? *)
+val inconsistent : t -> (term * term) list -> bool

@@ -1,0 +1,1 @@
+lib/fol/fol.ml: Folterm Form Format Ftype Hashtbl List Logic Pprint Printf Sequent Set Simplify String Sys Typecheck

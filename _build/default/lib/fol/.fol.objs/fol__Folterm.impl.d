@@ -1,0 +1,1 @@
+lib/fol/folterm.ml: Format List

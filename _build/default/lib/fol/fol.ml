@@ -1,0 +1,635 @@
+(** Resolution theorem prover for first-order logic with equality — the
+    portfolio's stand-in for off-the-shelf ATPs such as Vampire [78],
+    which the paper suggests for discharging client-level obligations
+    about abstract sets.
+
+    Pipeline: specification formulas are translated to first-order logic
+    (set operations become pointwise [elem] facts), clausified (NNF,
+    prenexing, skolemization, distribution), and refuted by a given-clause
+    loop with binary resolution + factoring.  Equality is handled by
+    adding congruence axioms for the symbols that occur.  The prover is
+    refutation-complete for FOL but of course not a decision procedure:
+    it answers [Valid] or gives up with [Unknown] when its budget runs
+    out (it never claims [Invalid]). *)
+
+open Logic
+open Folterm
+
+(* ------------------------------------------------------------------ *)
+(* Literals and clauses                                                *)
+(* ------------------------------------------------------------------ *)
+
+type lit = { sign : bool; pred : string; args : term list }
+
+type clause = lit list (* implicit disjunction; [] is the empty clause *)
+
+let lit_negate l = { l with sign = not l.sign }
+
+let pp_lit ppf l =
+  Format.fprintf ppf "%s%s(%a)"
+    (if l.sign then "" else "~")
+    l.pred
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_term)
+    l.args
+
+let pp_clause ppf (c : clause) =
+  if c = [] then Format.pp_print_string ppf "[]"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+      pp_lit ppf c
+
+let apply_lit s l = { l with args = List.map (apply s) l.args }
+let apply_clause s c = List.map (apply_lit s) c
+
+let clause_vars (c : clause) : string list =
+  List.fold_left (fun acc l -> List.fold_left term_vars acc l.args) [] c
+
+let rename_clause suffix (c : clause) : clause =
+  List.map (fun l -> { l with args = List.map (rename_term suffix) l.args }) c
+
+let clause_size (c : clause) =
+  List.fold_left (fun n l -> n + 1 + List.fold_left (fun m t -> m + term_size t) 0 l.args) 0 c
+
+(* direct variable renaming (simultaneous, unlike the triangular [apply]) *)
+let rec map_vars f = function
+  | V x -> V (f x)
+  | Fn (g, args) -> Fn (g, List.map (map_vars f) args)
+
+(* syntactic equality after normalizing variable names *)
+let normalize_clause (c : clause) : clause =
+  let vars = List.rev (clause_vars c) in
+  let tbl = List.mapi (fun i x -> (x, Printf.sprintf "_v%d" i)) vars in
+  let f x = match List.assoc_opt x tbl with Some y -> y | None -> x in
+  List.sort compare
+    (List.map (fun l -> { l with args = List.map (map_vars f) l.args }) c)
+
+(* ------------------------------------------------------------------ *)
+(* Translation from specification formulas                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Untranslatable of string
+
+(* Set-theoretic operators are eliminated pointwise before clausification:
+   every set equality / inclusion over set-typed expressions becomes a
+   universally quantified membership formula, and memberships in compound
+   sets are expanded by Simplify. *)
+let rec set_to_fol (set_exprs_hint : string list) (f : Form.t) : Form.t =
+  let is_set_expr g =
+    match Form.strip_types g with
+    | Form.Const (Form.EmptySet | Form.UnivSet) -> true
+    | Form.App (Form.Const (Form.Union | Form.Inter | Form.Diff | Form.FiniteSet), _)
+      ->
+      true
+    | Form.Binder (Form.Comprehension, _, _) -> true
+    | Form.Var x -> List.mem x set_exprs_hint
+    | Form.App (Form.Const Form.FieldRead, [ fld; _ ]) -> (
+      match Form.strip_types fld with
+      | Form.Var x -> List.mem x set_exprs_hint
+      | _ -> false)
+    | _ -> false
+  in
+  let pointwise mk a b =
+    let e = Form.fresh_name "e" in
+    Form.mk_forall
+      [ (e, Ftype.Obj) ]
+      (mk (Form.mk_elem (Form.Var e) a) (Form.mk_elem (Form.Var e) b))
+  in
+  let is_formula_like g =
+    match Form.strip_types g with
+    | Form.App
+        ( Form.Const
+            ( Form.Eq | Form.Elem | Form.Subseteq | Form.Subset | Form.And
+            | Form.Or | Form.Not | Form.Impl | Form.Iff | Form.Lt | Form.Le
+            | Form.Gt | Form.Ge ),
+          _ )
+    | Form.Const (Form.BoolLit _) ->
+      true
+    | _ -> false
+  in
+  let step g =
+    match Form.strip_types g with
+    | Form.App (Form.Const Form.Eq, [ a; b ]) when is_set_expr a || is_set_expr b
+      ->
+      pointwise Form.mk_iff a b
+    | Form.App (Form.Const Form.Eq, [ a; b ])
+      when is_formula_like a || is_formula_like b ->
+      (* boolean-sorted equality, e.g. result = (content = {}) *)
+      Form.mk_iff a b
+    | Form.App (Form.Const Form.Subseteq, [ a; b ]) ->
+      pointwise Form.mk_impl a b
+    | Form.App (Form.Const Form.Subset, [ a; b ]) ->
+      Form.mk_and
+        [ pointwise Form.mk_impl a b;
+          Form.mk_not (pointwise Form.mk_iff a b) ]
+    | _ -> g
+  in
+  let g = Form.map_bottom_up step f in
+  let g' = Simplify.simplify g in
+  if Form.equal g' f then g' else set_to_fol set_exprs_hint g'
+
+(* atoms: elem(x, S), eq(a, b), or uninterpreted predicate applications *)
+let rec fol_term (universals : string list) (f : Form.t) : term =
+  match Form.strip_types f with
+  | Form.Var x -> if List.mem x universals then V x else Fn ("c_" ^ x, [])
+  | Form.Const Form.Null -> Fn ("null", [])
+  | Form.Const (Form.IntLit n) -> Fn (Printf.sprintf "int_%d" n, [])
+  | Form.Const Form.EmptySet -> Fn ("emptyset", [])
+  | Form.Const Form.UnivSet -> Fn ("univ", [])
+  | Form.App (Form.Const Form.FieldRead, [ fld; obj ]) ->
+    Fn ("read", [ fol_term universals fld; fol_term universals obj ])
+  | Form.App (Form.Const Form.FieldWrite, [ fld; obj; v ]) ->
+    Fn
+      ( "write",
+        [ fol_term universals fld;
+          fol_term universals obj;
+          fol_term universals v ] )
+  | Form.App (Form.Const Form.Union, [ a; b ]) ->
+    Fn ("union", [ fol_term universals a; fol_term universals b ])
+  | Form.App (Form.Const Form.Inter, [ a; b ]) ->
+    Fn ("inter", [ fol_term universals a; fol_term universals b ])
+  | Form.App (Form.Const Form.Diff, [ a; b ]) ->
+    Fn ("setdiff", [ fol_term universals a; fol_term universals b ])
+  | Form.App (Form.Const Form.FiniteSet, elems) ->
+    List.fold_left
+      (fun acc e -> Fn ("insert", [ fol_term universals e; acc ]))
+      (Fn ("emptyset", []))
+      elems
+  | Form.App (Form.Var fn, args) ->
+    Fn ("f_" ^ fn, List.map (fol_term universals) args)
+  | g -> raise (Untranslatable (Pprint.to_string g))
+
+(* a reachability lambda (% u v. E(u) = v) denotes the reflexive
+   transitive closure of the *function* E; we translate it as an
+   uninterpreted binary predicate rt(E0, x, y) over the step function's
+   translation, and add sound (not complete) closure axioms. *)
+let functional_step (universals : string list) (p : Form.t) : term option =
+  match Form.strip_types p with
+  | Form.Binder (Form.Lambda, [ (u, _); (v, _) ], body) -> (
+    match Form.strip_types body with
+    | Form.App (Form.Const Form.Eq, [ lhs; Form.Var v' ]) when v' = v -> (
+      match Form.strip_types lhs with
+      | Form.App (Form.Const Form.FieldRead, [ fld; Form.Var u' ])
+        when u' = u && not (List.mem u (Form.fv_list fld)) ->
+        (* step function = the field (possibly an updated field term) *)
+        Some (fol_term universals fld)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let fol_atom (universals : string list) (f : Form.t) : lit =
+  match Form.strip_types f with
+  | Form.App (Form.Const Form.Rtrancl, [ p; a; b ]) -> (
+    match functional_step universals p with
+    | Some step ->
+      { sign = true;
+        pred = "rt";
+        args =
+          [ step; fol_term universals a; fol_term universals b ] }
+    | None -> raise (Untranslatable (Pprint.to_string f)))
+  | Form.App (Form.Const Form.Eq, [ a; b ]) ->
+    { sign = true; pred = "="; args = [ fol_term universals a; fol_term universals b ] }
+  | Form.App (Form.Const Form.Elem, [ x; s ]) ->
+    { sign = true;
+      pred = "elem";
+      args = [ fol_term universals x; fol_term universals s ] }
+  | Form.Var p -> { sign = true; pred = "p_" ^ p; args = [] }
+  | g -> raise (Untranslatable (Pprint.to_string g))
+
+(* clausify an NNF, prenexed, skolemized matrix *)
+let rec clausify_matrix (universals : string list) (f : Form.t) : clause list =
+  match Form.strip_types f with
+  | Form.App (Form.Const Form.And, gs) ->
+    List.concat_map (clausify_matrix universals) gs
+  | Form.App (Form.Const Form.Or, gs) ->
+    let parts = List.map (clausify_matrix universals) gs in
+    (* distribute: cartesian product of clause sets *)
+    List.fold_left
+      (fun acc cs ->
+        List.concat_map (fun c1 -> List.map (fun c2 -> c1 @ c2) cs) acc)
+      [ [] ] parts
+  | Form.App (Form.Const Form.Not, [ g ]) -> [ [ lit_negate (fol_atom universals g) ] ]
+  | Form.Const (Form.BoolLit true) -> []
+  | Form.Const (Form.BoolLit false) -> [ [] ]
+  | g -> [ [ fol_atom universals g ] ]
+
+(* skolemize, tracking which variables are universal *)
+let clausify (f : Form.t) : clause list =
+  let qs, matrix = Simplify.prenex (Simplify.nnf f) in
+  let rec go universals subs = function
+    | [] ->
+      let matrix = Form.subst_list subs matrix in
+      clausify_matrix (List.map fst universals) matrix
+    | (`All, (x, _)) :: rest -> go (universals @ [ (x, ()) ]) subs rest
+    | (`Ex, (x, _)) :: rest ->
+      let sk = Form.fresh_name ("sk_" ^ x) in
+      let term =
+        if universals = [] then Form.Var sk
+        else Form.App (Form.Var sk, List.map (fun (u, ()) -> Form.Var u) universals)
+      in
+      go universals ((x, term) :: subs) rest
+  in
+  (* skolem applications App (Var sk, universals) translate via "f_sk" *)
+  go [] [] qs
+
+(* ------------------------------------------------------------------ *)
+(* Equality axioms                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let equality_axioms (clauses : clause list) : clause list =
+  (* collect function and predicate symbols with arities *)
+  let fns = Hashtbl.create 16 and preds = Hashtbl.create 16 in
+  let rec note_term = function
+    | V _ -> ()
+    | Fn (f, args) ->
+      if args <> [] then Hashtbl.replace fns (f, List.length args) ();
+      List.iter note_term args
+  in
+  let uses_equality = ref false in
+  List.iter
+    (List.iter (fun l ->
+         if l.pred = "=" then uses_equality := true
+         else Hashtbl.replace preds (l.pred, List.length l.args) ();
+         List.iter note_term l.args))
+    clauses;
+  if not !uses_equality then []
+  else begin
+    let eq a b = { sign = true; pred = "="; args = [ a; b ] } in
+    let neq a b = { sign = false; pred = "="; args = [ a; b ] } in
+    let refl = [ eq (V "x") (V "x") ] in
+    let sym = [ neq (V "x") (V "y"); eq (V "y") (V "x") ] in
+    let trans =
+      [ neq (V "x") (V "y"); neq (V "y") (V "z"); eq (V "x") (V "z") ]
+    in
+    let congruences =
+      Hashtbl.fold
+        (fun (f, arity) () acc ->
+          (* x_i = y_i ... -> f(xs) = f(ys) *)
+          let xs = List.init arity (fun i -> V (Printf.sprintf "x%d" i)) in
+          let ys = List.init arity (fun i -> V (Printf.sprintf "y%d" i)) in
+          (List.map2 neq xs ys @ [ eq (Fn (f, xs)) (Fn (f, ys)) ]) :: acc)
+        fns []
+    in
+    let pred_congruences =
+      Hashtbl.fold
+        (fun (p, arity) () acc ->
+          if arity = 0 then acc
+          else begin
+            let xs = List.init arity (fun i -> V (Printf.sprintf "x%d" i)) in
+            let ys = List.init arity (fun i -> V (Printf.sprintf "y%d" i)) in
+            (List.map2 neq xs ys
+            @ [ { sign = false; pred = p; args = xs };
+                { sign = true; pred = p; args = ys } ])
+            :: acc
+          end)
+        preds []
+    in
+    (refl :: sym :: trans :: congruences) @ pred_congruences
+  end
+
+(* Sound axioms for the interpreted symbols occurring in the clause set:
+   reflexive-transitive closure of a functional step, select-over-store
+   for field writes, and the null-field convention read(f, null) = null. *)
+let theory_axioms (clauses : clause list) : clause list =
+  let has_pred p =
+    List.exists (List.exists (fun l -> l.pred = p)) clauses
+  in
+  let has_fn name =
+    let rec in_term = function
+      | V _ -> false
+      | Fn (f, args) -> f = name || List.exists in_term args
+    in
+    List.exists (List.exists (fun l -> List.exists in_term l.args)) clauses
+  in
+  (* field constants: 0-ary symbols appearing as the first argument of
+     read — they obey read(f, null) = null *)
+  let field_consts =
+    let acc = ref [] in
+    let rec scan = function
+      | V _ -> ()
+      | Fn ("read", [ (Fn (f, []) as fld); _ ]) ->
+        if not (List.mem f !acc) then acc := f :: !acc;
+        scan fld
+      | Fn (_, args) -> List.iter scan args
+    in
+    List.iter (List.iter (fun l -> List.iter scan l.args)) clauses;
+    !acc
+  in
+  let eq a b = { sign = true; pred = "="; args = [ a; b ] } in
+  let neq a b = { sign = false; pred = "="; args = [ a; b ] } in
+  let rt f x y = { sign = true; pred = "rt"; args = [ f; x; y ] } in
+  let nrt f x y = { sign = false; pred = "rt"; args = [ f; x; y ] } in
+  let null = Fn ("null", []) in
+  let read f x = Fn ("read", [ f; x ]) in
+  let rt_axioms =
+    if not (has_pred "rt") then []
+    else
+      [ (* reflexivity *)
+        [ rt (V "f") (V "x") (V "x") ];
+        (* build-up: step then closure *)
+        [ neq (read (V "f") (V "x")) (V "y");
+          nrt (V "f") (V "y") (V "z");
+          rt (V "f") (V "x") (V "z") ];
+        (* transitivity *)
+        [ nrt (V "f") (V "x") (V "y");
+          nrt (V "f") (V "y") (V "z");
+          rt (V "f") (V "x") (V "z") ];
+        (* functional unfolding: rt(x,y) -> x = y \/ rt(step(x), y) *)
+        [ nrt (V "f") (V "x") (V "y");
+          eq (V "x") (V "y");
+          rt (V "f") (read (V "f") (V "x")) (V "y") ];
+        (* nothing beyond null *)
+        [ nrt (V "f") null (V "y"); eq (V "y") null ];
+      ]
+  in
+  let write_axioms =
+    if not (has_fn "write") then []
+    else
+      [ (* read over write, same location *)
+        [ eq (read (Fn ("write", [ V "f"; V "x"; V "v" ])) (V "x")) (V "v") ];
+        (* read over write, different location *)
+        [ eq (V "y") (V "x");
+          eq
+            (read (Fn ("write", [ V "f"; V "x"; V "v" ])) (V "y"))
+            (read (V "f") (V "y")) ];
+      ]
+  in
+  let null_field_axioms =
+    List.map (fun f -> [ eq (read (Fn (f, [])) null) null ]) field_consts
+  in
+  rt_axioms @ write_axioms @ null_field_axioms
+
+(* ------------------------------------------------------------------ *)
+(* Given-clause resolution loop                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* all binary resolvents of c1 and c2 (c2 freshly renamed) *)
+let resolvents (c1 : clause) (c2 : clause) : clause list =
+  let c2 = rename_clause "'" c2 in
+  List.concat_map
+    (fun l1 ->
+      List.filter_map
+        (fun l2 ->
+          if l1.sign = l2.sign || l1.pred <> l2.pred then None
+          else
+            match
+              (try Some (List.fold_left2 unify [] l1.args l2.args)
+               with No_unifier | Invalid_argument _ -> None)
+            with
+            | None -> None
+            | Some s ->
+              let rest1 = List.filter (fun l -> l != l1) c1 in
+              let rest2 = List.filter (fun l -> l != l2) c2 in
+              Some (normalize_clause (apply_clause s (rest1 @ rest2))))
+        c2)
+    c1
+
+(* factoring: unify two literals of the same clause *)
+let factors (c : clause) : clause list =
+  let rec pairs = function
+    | [] -> []
+    | l :: rest -> List.map (fun l' -> (l, l')) rest @ pairs rest
+  in
+  List.filter_map
+    (fun (l1, l2) ->
+      if l1.sign <> l2.sign || l1.pred <> l2.pred then None
+      else
+        match
+          (try Some (List.fold_left2 unify [] l1.args l2.args)
+           with No_unifier | Invalid_argument _ -> None)
+        with
+        | None -> None
+        | Some s ->
+          Some (normalize_clause (apply_clause s (List.filter (fun l -> l != l2) c))))
+    (pairs c)
+
+let is_tautology (c : clause) : bool =
+  List.exists
+    (fun l ->
+      List.exists (fun l' -> l.sign <> l'.sign && l.pred = l'.pred && l.args = l'.args) c)
+    c
+
+(* one-way matching: only the pattern's variables may bind *)
+let rec match_term (s : subst) (pat : term) (t : term) : subst =
+  match pat, t with
+  | V x, _ -> (
+    match List.assoc_opt x s with
+    | Some u -> if u = t then s else raise No_unifier
+    | None -> (x, t) :: s)
+  | Fn (f, xs), Fn (g, ys) ->
+    if f <> g || List.length xs <> List.length ys then raise No_unifier
+    else List.fold_left2 match_term s xs ys
+  | Fn _, V _ -> raise No_unifier
+
+(* subsumption: c1 subsumes c2 if some instance of c1 (variables of c2
+   fixed) is a subset of c2 *)
+let subsumes (c1 : clause) (c2 : clause) : bool =
+  let c1 = rename_clause "!" c1 in
+  let rec go s = function
+    | [] -> true
+    | l1 :: rest ->
+      List.exists
+        (fun l2 ->
+          l1.sign = l2.sign && l1.pred = l2.pred
+          &&
+          match
+            (try Some (List.fold_left2 match_term s l1.args l2.args)
+             with No_unifier | Invalid_argument _ -> None)
+          with
+          | Some s' -> go s' rest
+          | None -> false)
+        c2
+  in
+  List.length c1 <= List.length c2 && go [] c1
+
+type outcome = Proof | Saturated | GaveUp
+
+(** Refute [usable] (axioms + hypotheses, assumed consistent) against the
+    set-of-support [sos] (the negated goal): every inference uses at least
+    one SOS-descended parent, the classic Wos-style strategy that keeps
+    the equality axioms from feeding on themselves. *)
+let refute ?(max_clauses = 4000) ?(max_weight = 60) ?(max_lits = 6)
+    ?(timeout_s = 1.5) ~(usable : clause list) ~(sos : clause list) () :
+    outcome =
+  let deadline = Sys.time () +. timeout_s in
+  let usable = List.filter (fun c -> not (is_tautology c)) (List.map normalize_clause usable) in
+  let sos = List.map normalize_clause sos in
+  if List.exists (fun c -> c = []) (usable @ sos) then Proof
+  else begin
+    let module Pq = Set.Make (struct
+      type t = int * int * clause
+
+      let compare = compare
+    end) in
+    let counter = ref 0 in
+    let passive = ref Pq.empty in
+    let seen = Hashtbl.create 256 in
+    let add_passive c =
+      if not (Hashtbl.mem seen c) && not (is_tautology c) then begin
+        Hashtbl.add seen c ();
+        incr counter;
+        passive := Pq.add (clause_size c, !counter, c) !passive
+      end
+    in
+    (* passive holds only SOS clauses; usable clauses are active from the
+       start *)
+    List.iter add_passive sos;
+    let active_usable = ref usable in
+    let active_sos = ref [] in
+    let total = ref (List.length sos) in
+    let result = ref None in
+    let unit_subsumed c =
+      let units =
+        List.filter (fun a -> List.length a = 1) (!active_usable @ !active_sos)
+      in
+      List.exists (fun u -> subsumes u c) units
+    in
+    while !result = None do
+      if Pq.is_empty !passive then result := Some Saturated
+      else if !total > max_clauses || Sys.time () > deadline then
+        result := Some GaveUp
+      else begin
+        let ((_, _, given) as entry) = Pq.min_elt !passive in
+        (if Sys.getenv_opt "FOL_DEBUG" <> None then
+           Format.eprintf "pop total=%d passive=%d active=%d given=%a@."
+             !total (Pq.cardinal !passive)
+             (List.length !active_usable + List.length !active_sos)
+             pp_clause given);
+        passive := Pq.remove entry !passive;
+        if unit_subsumed given && clause_size given > 3 then ()
+        else begin
+          (* SOS restriction: given (an SOS clause) resolves against
+             everything active *)
+          let partners = !active_usable @ !active_sos in
+          let new_clauses =
+            factors given
+            @ List.concat_map (fun a -> resolvents given a) partners
+            @ resolvents given given
+          in
+          active_sos := given :: !active_sos;
+          List.iter
+            (fun c ->
+              if c = [] then result := Some Proof
+              else if
+                clause_size c <= max_weight
+                && List.length c <= max_lits
+                && not (unit_subsumed c)
+              then begin
+                incr total;
+                add_passive c
+              end)
+            new_clauses
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Prover interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded ground instantiation: universally quantified hypotheses are
+   instantiated with the object-denoting constants of the sequent.  The
+   resulting ground unit facts give resolution short proofs where deep
+   unification chains would blow the budget. *)
+let object_candidates (hyps : Form.t list) (goal : Form.t) : Form.t list =
+  let acc = ref [ Form.mk_null ] in
+  let note t =
+    match Form.strip_types t with
+    | Form.Var x when not (String.contains x '.') ->
+      if not (List.exists (Form.equal t) !acc) then acc := t :: !acc
+    | _ -> ()
+  in
+  let scan f =
+    ignore
+      (Form.fold
+         (fun () g ->
+           match g with
+           | Form.App (Form.Const Form.Elem, [ x; _ ]) -> note x
+           | Form.App (Form.Const Form.FieldRead, [ _; r ]) -> note r
+           | Form.App (Form.Const Form.Eq, [ a; b ]) ->
+             (match Form.strip_types a, Form.strip_types b with
+             | _, Form.Const Form.Null -> note a
+             | Form.Const Form.Null, _ -> note b
+             | _ -> ())
+           | _ -> ())
+         () f)
+  in
+  List.iter scan hyps;
+  scan goal;
+  !acc
+
+let instantiate_foralls (cands : Form.t list) (hyps : Form.t list) :
+    Form.t list =
+  let max_instances_per_hyp = 80 in
+  List.concat_map
+    (fun h ->
+      match Form.strip_types h with
+      | Form.Binder (Form.Forall, vars, body) when List.length vars <= 2 ->
+        let n = List.length cands in
+        let rec tuples k =
+          if k = 0 then [ [] ]
+          else
+            List.concat_map
+              (fun rest -> List.map (fun c -> c :: rest) cands)
+              (tuples (k - 1))
+        in
+        let arity = List.length vars in
+        if int_of_float (float_of_int n ** float_of_int arity)
+           > max_instances_per_hyp
+        then []
+        else
+          List.filter_map
+            (fun tuple ->
+              let sub = List.map2 (fun (x, _) c -> (x, c)) vars tuple in
+              let inst = Simplify.simplify (Form.subst_list sub body) in
+              if Form.is_true inst then None else Some inst)
+            (tuples arity)
+      | _ -> [])
+    hyps
+
+(** Prove a sequent; [set_vars] names the variables known to denote sets
+    (they get extensionality treatment). *)
+let prove_with ?(set_vars = []) (s : Sequent.t) : Sequent.verdict =
+  match
+    let translated_hyps = List.map (set_to_fol set_vars) s.Sequent.hyps in
+    let translated_goal = set_to_fol set_vars (Form.mk_not s.Sequent.goal) in
+    let cands = object_candidates translated_hyps translated_goal in
+    let instances = instantiate_foralls cands translated_hyps in
+    let hyp_clauses =
+      List.concat_map clausify (translated_hyps @ instances)
+    in
+    let goal_clauses = clausify translated_goal in
+    let theory = theory_axioms (hyp_clauses @ goal_clauses) in
+    let axioms = equality_axioms (theory @ hyp_clauses @ goal_clauses) in
+    refute ~usable:(axioms @ theory @ hyp_clauses) ~sos:goal_clauses ()
+  with
+  | Proof -> Sequent.Valid
+  | Saturated ->
+    (* saturation without equality-completeness caveats: the clause set is
+       satisfiable, but our translation abstracts sorts, so stay safe *)
+    Sequent.Unknown "resolution saturated without a proof"
+  | GaveUp -> Sequent.Unknown "resolution budget exhausted"
+  | exception Untranslatable what ->
+    Sequent.Unknown ("not first-order translatable: " ^ what)
+
+(* infer set-typed variables from the formula so the prover can be used
+   standalone *)
+let infer_set_vars (s : Sequent.t) : string list =
+  let f = Sequent.to_form s in
+  match Typecheck.infer f with
+  | _, _, free ->
+    Typecheck.Smap.fold
+      (fun x ty acc ->
+        match ty with
+        | Ftype.Set _ -> x :: acc
+        | Ftype.Arrow (_, Ftype.Set _) -> x :: acc (* per-instance set *)
+        | _ -> acc)
+      free []
+  | exception Typecheck.Type_error _ -> []
+
+let prove (s : Sequent.t) : Sequent.verdict =
+  prove_with ~set_vars:(infer_set_vars s) s
+
+let prover : Sequent.prover = { prover_name = "fol"; prove }

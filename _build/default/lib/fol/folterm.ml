@@ -1,0 +1,68 @@
+(** First-order terms, substitutions and unification for the resolution
+    prover. *)
+
+type term =
+  | V of string (* universally quantified variable *)
+  | Fn of string * term list (* function application; constants are 0-ary *)
+
+type subst = (string * term) list
+
+let rec apply (s : subst) (t : term) : term =
+  match t with
+  | V x -> (
+    match List.assoc_opt x s with
+    | Some u -> apply s u (* s may be a triangular substitution *)
+    | None -> t)
+  | Fn (f, args) -> Fn (f, List.map (apply s) args)
+
+let rec occurs (s : subst) x (t : term) : bool =
+  match t with
+  | V y -> (
+    if x = y then true
+    else
+      match List.assoc_opt y s with Some u -> occurs s x u | None -> false)
+  | Fn (_, args) -> List.exists (occurs s x) args
+
+exception No_unifier
+
+(* triangular unification *)
+let rec unify (s : subst) (a : term) (b : term) : subst =
+  let rec chase t =
+    match t with
+    | V x -> (
+      match List.assoc_opt x s with Some u -> chase u | None -> t)
+    | Fn _ -> t
+  in
+  let a = chase a and b = chase b in
+  match a, b with
+  | V x, V y when x = y -> s
+  | V x, t | t, V x ->
+    if occurs s x t then raise No_unifier else (x, t) :: s
+  | Fn (f, xs), Fn (g, ys) ->
+    if f <> g || List.length xs <> List.length ys then raise No_unifier
+    else List.fold_left2 unify s xs ys
+
+let unify_opt a b = try Some (unify [] a b) with No_unifier -> None
+
+(* variables occurring in a term *)
+let rec term_vars acc = function
+  | V x -> if List.mem x acc then acc else x :: acc
+  | Fn (_, args) -> List.fold_left term_vars acc args
+
+let rec rename_term suffix = function
+  | V x -> V (x ^ suffix)
+  | Fn (f, args) -> Fn (f, List.map (rename_term suffix) args)
+
+let rec term_size = function
+  | V _ -> 1
+  | Fn (_, args) -> 1 + List.fold_left (fun n t -> n + term_size t) 0 args
+
+let rec pp_term ppf = function
+  | V x -> Format.fprintf ppf "?%s" x
+  | Fn (f, []) -> Format.pp_print_string ppf f
+  | Fn (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_term)
+      args

@@ -1,0 +1,1 @@
+lib/gcl/cmd.ml: Form Format List Logic Option Pprint Printf String

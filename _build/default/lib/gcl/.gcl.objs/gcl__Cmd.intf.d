@@ -1,0 +1,1 @@
+lib/gcl/cmd.mli: Form Format Logic

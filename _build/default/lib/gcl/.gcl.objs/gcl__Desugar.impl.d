@@ -1,0 +1,1 @@
+lib/gcl/desugar.ml: Cmd Form Format Ftype Hashtbl Javaparser List Logic Option Printf String

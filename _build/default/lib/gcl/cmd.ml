@@ -1,0 +1,93 @@
+(** Guarded commands: the intermediate language between the Java subset
+    and the verification-condition generator.
+
+    State variables are logical variables:
+    - locals and parameters keep their names;
+    - an instance field [f] of class [C] is the function-valued variable
+      ["C.f"] (reads become [fieldRead], writes become [fieldWrite]);
+    - static fields and spec variables are the globals ["C.x"];
+    - the allocation set is ["Object.alloc"]. *)
+
+open Logic
+
+type command =
+  | Skip
+  | Assume of Form.t
+  | Assert of Form.t * string (* formula, origin label *)
+  | Assign of string * Form.t
+  | Havoc of string list
+  | Seq of command list
+  | Choice of command * command
+  | Loop of loop
+
+and loop = {
+  loop_invariant : Form.t option;
+  loop_cond : Form.t; (* entry condition; negation holds on exit *)
+  loop_prelude : command; (* evaluates the condition's effects each round *)
+  loop_body : command;
+}
+
+let seq cs =
+  let rec flatten acc = function
+    | [] -> List.rev acc
+    | Skip :: rest -> flatten acc rest
+    | Seq cs :: rest -> flatten acc (cs @ rest)
+    | c :: rest -> flatten (c :: acc) rest
+  in
+  match flatten [] cs with [] -> Skip | [ c ] -> c | cs -> Seq cs
+
+(* variables assigned or havoced by a command (loop prelude included) *)
+let rec modified_vars (c : command) : Form.Sset.t =
+  match c with
+  | Skip | Assume _ | Assert _ -> Form.Sset.empty
+  | Assign (x, _) -> Form.Sset.singleton x
+  | Havoc xs -> Form.Sset.of_list xs
+  | Seq cs ->
+    List.fold_left
+      (fun acc c -> Form.Sset.union acc (modified_vars c))
+      Form.Sset.empty cs
+  | Choice (a, b) -> Form.Sset.union (modified_vars a) (modified_vars b)
+  | Loop l ->
+    Form.Sset.union (modified_vars l.loop_prelude) (modified_vars l.loop_body)
+
+(** Apply [fn] to every formula occurring in the command. *)
+let rec map_formulas (fn : Form.t -> Form.t) (c : command) : command =
+  match c with
+  | Skip -> Skip
+  | Assume f -> Assume (fn f)
+  | Assert (f, l) -> Assert (fn f, l)
+  | Assign (x, f) -> Assign (x, fn f)
+  | Havoc xs -> Havoc xs
+  | Seq cs -> Seq (List.map (map_formulas fn) cs)
+  | Choice (a, b) -> Choice (map_formulas fn a, map_formulas fn b)
+  | Loop l ->
+    Loop
+      { loop_invariant = Option.map fn l.loop_invariant;
+        loop_cond = fn l.loop_cond;
+        loop_prelude = map_formulas fn l.loop_prelude;
+        loop_body = map_formulas fn l.loop_body }
+
+let rec pp ppf (c : command) =
+  match c with
+  | Skip -> Format.pp_print_string ppf "skip"
+  | Assume f -> Format.fprintf ppf "assume %a" Pprint.pp f
+  | Assert (f, label) -> Format.fprintf ppf "assert[%s] %a" label Pprint.pp f
+  | Assign (x, f) -> Format.fprintf ppf "%s := %a" x Pprint.pp f
+  | Havoc xs ->
+    Format.fprintf ppf "havoc %s" (String.concat ", " xs)
+  | Seq cs ->
+    Format.fprintf ppf "@[<v 0>%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@,")
+         pp)
+      cs
+  | Choice (a, b) ->
+    Format.fprintf ppf "@[<v 2>choice {@,%a@]@,@[<v 2>} or {@,%a@]@,}" pp a pp b
+  | Loop l ->
+    Format.fprintf ppf "@[<v 2>loop%s (%a) {@,%a@]@,}"
+      (match l.loop_invariant with
+      | Some inv -> Printf.sprintf " inv %s" (Pprint.to_string inv)
+      | None -> "")
+      Pprint.pp l.loop_cond pp l.loop_body
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,33 @@
+(** Guarded commands: the intermediate language between the Java subset
+    and the verification-condition generator. *)
+
+open Logic
+
+type command =
+  | Skip
+  | Assume of Form.t
+  | Assert of Form.t * string  (** formula, origin label *)
+  | Assign of string * Form.t
+  | Havoc of string list
+  | Seq of command list
+  | Choice of command * command
+  | Loop of loop
+
+and loop = {
+  loop_invariant : Form.t option;
+  loop_cond : Form.t;  (** entry condition; negation holds on exit *)
+  loop_prelude : command;  (** evaluates the condition's effects *)
+  loop_body : command;
+}
+
+(** Smart sequence: flattens nested [Seq] and drops [Skip]. *)
+val seq : command list -> command
+
+(** Variables assigned or havoced anywhere in the command. *)
+val modified_vars : command -> Form.Sset.t
+
+(** Apply [fn] to every formula occurring in the command. *)
+val map_formulas : (Form.t -> Form.t) -> command -> command
+
+val pp : Format.formatter -> command -> unit
+val to_string : command -> string

@@ -1,0 +1,1077 @@
+(** Desugaring the annotated Java subset into guarded commands.
+
+    This module implements the semantic decisions of the paper's front
+    end:
+
+    - {b state model}: instance field [f] of class [C] is the
+      function-valued variable ["C.f"]; the allocation set is
+      ["Object.alloc"]; fields and spec variables of classes used from
+      static context (the paper's Client) are globalized to ["C.x"];
+    - {b abstraction functions}: a specvar with a [vardefs] definition is
+      unfolded at every use, relative to the proper receiver — this is the
+      "verified connection between concrete data structures and abstract
+      sets" of Section 1;
+    - {b modular calls}: a call is replaced by [assert precondition;
+      snapshot; havoc frame; assume postcondition+frame], so methods are
+      verified against contracts, never inlined;
+    - {b allocation}: [new C()] yields a fresh non-null object outside
+      [Object.alloc] with default-initialized fields.
+*)
+
+open Logic
+module Ast = Javaparser.Ast
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let alloc_var = "Object.alloc"
+
+(* one global function for all array contents (obj => int => obj-or-int),
+   plus the length field, in the Jahob style *)
+let array_state_var = "Object.arrayState"
+let array_length_var = "Array.length"
+
+(* ------------------------------------------------------------------ *)
+(* Class-table helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type tenv = {
+  prog : Ast.program;
+  home : string; (* the class whose method is being verified: only its
+                    own vardefs are unfolded (information hiding) *)
+  cls : Ast.class_decl; (* enclosing class *)
+  mtd : Ast.method_decl; (* enclosing method *)
+  globalized : (string * string) list; (* (class, member) treated as global *)
+  mutable locals : (string * Ast.jtype) list;
+  mutable counter : int;
+}
+
+let fresh env base =
+  env.counter <- env.counter + 1;
+  Printf.sprintf "%s_%d" base env.counter
+
+let qualify c x = c ^ "." ^ x
+
+let is_globalized env c x = List.mem (c, x) env.globalized
+
+(* Names referenced anywhere inside a static method of a class determine
+   which of its members are globalized. *)
+let compute_globalized (prog : Ast.program) : (string * string) list =
+  let mentioned : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let note x = Hashtbl.replace mentioned x () in
+  let rec expr_idents (e : Ast.expr) =
+    match e with
+    | Ast.Local x -> note x
+    | Ast.Field_access (e, _) -> expr_idents e
+    | Ast.Binop (_, a, b) ->
+      expr_idents a;
+      expr_idents b
+    | Ast.Not e | Ast.Neg e | Ast.Cast (_, e) -> expr_idents e
+    | Ast.Call { call_recv; call_args; _ } ->
+      Option.iter expr_idents call_recv;
+      List.iter expr_idents call_args
+    | Ast.Index (a, i) ->
+      expr_idents a;
+      expr_idents i
+    | Ast.New_array (_, n) -> expr_idents n
+    | Ast.Array_length a -> expr_idents a
+    | Ast.Int_lit _ | Ast.Bool_lit _ | Ast.Null_lit | Ast.This | Ast.New _ ->
+      ()
+  in
+  let rec stmt_idents (s : Ast.stmt) =
+    match s with
+    | Ast.Var_decl (_, _, init) -> Option.iter expr_idents init
+    | Ast.Assign (lhs, e) ->
+      (match lhs with
+      | Ast.Lhs_local x -> note x
+      | Ast.Lhs_field (obj, _) -> expr_idents obj
+      | Ast.Lhs_index (a, i) ->
+        expr_idents a;
+        expr_idents i);
+      expr_idents e
+    | Ast.Expr_stmt e -> expr_idents e
+    | Ast.If (c, a, b) ->
+      expr_idents c;
+      List.iter stmt_idents a;
+      List.iter stmt_idents b
+    | Ast.While (_, c, body) ->
+      expr_idents c;
+      List.iter stmt_idents body
+    | Ast.Return e -> Option.iter expr_idents e
+    | Ast.Block b -> List.iter stmt_idents b
+    | Ast.Spec sp -> (
+      match sp with
+      | Ast.Ghost_assign (x, f) ->
+        note x;
+        List.iter note (Form.fv_list f)
+      | Ast.Assert_spec (_, f) | Ast.Assume_spec (_, f) | Ast.Note_that (_, f)
+      | Ast.Loop_invariant f ->
+        List.iter note (Form.fv_list f))
+  in
+  let forms_idents f = List.iter note (Form.fv_list f) in
+  List.concat_map
+    (fun (c : Ast.class_decl) ->
+      Hashtbl.reset mentioned;
+      let statics =
+        List.filter (fun m -> m.Ast.m_static) c.Ast.c_methods
+      in
+      if statics = [] then []
+      else begin
+        List.iter
+          (fun (m : Ast.method_decl) ->
+            Option.iter (List.iter stmt_idents) m.Ast.m_body;
+            Option.iter forms_idents m.Ast.m_contract.Ast.requires;
+            Option.iter forms_idents m.Ast.m_contract.Ast.ensures;
+            List.iter note m.Ast.m_contract.Ast.modifies)
+          statics;
+        let members =
+          List.map (fun f -> f.Ast.f_name) c.Ast.c_fields
+          @ List.map (fun v -> v.Ast.sv_name) c.Ast.c_specvars
+        in
+        List.filter_map
+          (fun x -> if Hashtbl.mem mentioned x then Some (c.Ast.c_name, x) else None)
+          members
+      end)
+    prog
+
+(* every class that [claimedby] delegates to c, transitively *)
+let claimed_classes (prog : Ast.program) (owner : string) : string list =
+  List.filter_map
+    (fun (c : Ast.class_decl) ->
+      if
+        List.exists
+          (fun f -> f.Ast.f_claimedby = Some owner)
+          c.Ast.c_fields
+      then Some c.Ast.c_name
+      else None)
+    prog
+
+(* concrete state footprint of a class: its own field variables plus those
+   of classes claimed by it, plus the allocation set *)
+let class_footprint (prog : Ast.program) (cname : string) : string list =
+  let own (c : Ast.class_decl) =
+    List.filter_map
+      (fun (f : Ast.field_decl) ->
+        (* globalized members are handled separately *)
+        Some (qualify c.Ast.c_name f.Ast.f_name))
+      c.Ast.c_fields
+  in
+  let classes =
+    cname :: claimed_classes prog cname
+  in
+  List.concat_map
+    (fun cn ->
+      match Ast.find_class prog cn with Some c -> own c | None -> [])
+    classes
+  @ [ alloc_var ]
+
+(* all state variables of the program, from the viewpoint of [home]:
+   field functions, globals, ghosts — and the *abstract* spec variables of
+   other classes, which do not unfold outside their class *)
+let program_state_vars (prog : Ast.program) (home : string)
+    (globalized : (string * string) list) : string list =
+  let per_class (c : Ast.class_decl) =
+    List.map (fun f -> qualify c.Ast.c_name f.Ast.f_name) c.Ast.c_fields
+    @ List.filter_map
+        (fun (v : Ast.specvar_decl) ->
+          if v.Ast.sv_ghost || v.Ast.sv_def = None || c.Ast.c_name <> home
+          then Some (qualify c.Ast.c_name v.Ast.sv_name)
+          else None (* the home class's defined specvars unfold *))
+        c.Ast.c_specvars
+  in
+  ignore globalized;
+  List.sort_uniq compare
+    (alloc_var :: array_state_var :: array_length_var
+    :: List.concat_map per_class prog)
+
+(* ------------------------------------------------------------------ *)
+(* Static types of expressions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let field_jtype env (cname : string) (fname : string) : Ast.jtype =
+  match Ast.find_class env.prog cname with
+  | None -> error "unknown class %s" cname
+  | Some c -> (
+    match Ast.find_field c fname with
+    | Some f -> f.Ast.f_type
+    | None -> error "unknown field %s.%s" cname fname)
+
+let rec jtype_of env (e : Ast.expr) : Ast.jtype =
+  match e with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Bool_lit _ -> Ast.Tbool
+  | Ast.Null_lit -> Ast.Tclass "Object"
+  | Ast.This -> Ast.Tclass env.cls.Ast.c_name
+  | Ast.Local x -> (
+    match List.assoc_opt x env.locals with
+    | Some t -> t
+    | None -> (
+      match Ast.find_field env.cls x with
+      | Some f -> f.Ast.f_type
+      | None -> error "unbound identifier %s" x))
+  | Ast.Field_access (obj, f) -> (
+    match jtype_of env obj with
+    | Ast.Tclass c -> field_jtype env c f
+    | t -> error "field access on non-object of type %s" (Ast.jtype_to_string t))
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), _, _) ->
+    Ast.Tint
+  | Ast.Binop (_, _, _) -> Ast.Tbool
+  | Ast.Not _ -> Ast.Tbool
+  | Ast.Neg _ -> Ast.Tint
+  | Ast.New c -> Ast.Tclass c
+  | Ast.New_array (t, _) -> Ast.Tarray t
+  | Ast.Index (a, _) -> (
+    match jtype_of env a with
+    | Ast.Tarray t -> t
+    | t -> error "indexing a non-array of type %s" (Ast.jtype_to_string t))
+  | Ast.Array_length _ -> Ast.Tint
+  | Ast.Cast (c, _) -> Ast.Tclass c
+  | Ast.Call call ->
+    let cls, m = resolve_call env call in
+    ignore cls;
+    m.Ast.m_ret
+
+and resolve_call env (call : Ast.call) : Ast.class_decl * Ast.method_decl =
+  let lookup cname =
+    match Ast.find_class env.prog cname with
+    | None -> error "unknown class %s in call to %s" cname call.Ast.call_name
+    | Some c -> (
+      match Ast.find_method c call.Ast.call_name with
+      | Some m -> (c, m)
+      | None -> error "unknown method %s.%s" cname call.Ast.call_name)
+  in
+  match call.Ast.call_recv with
+  | Some (Ast.Local x)
+    when List.assoc_opt x env.locals = None
+         && Ast.find_field env.cls x = None
+         && Ast.find_class env.prog x <> None ->
+    (* C.m(...): receiver names a class *)
+    lookup x
+  | Some recv -> (
+    match jtype_of env recv with
+    | Ast.Tclass c -> lookup c
+    | t -> error "method call on non-object of type %s" (Ast.jtype_to_string t))
+  | None -> lookup env.cls.Ast.c_name
+
+(* ------------------------------------------------------------------ *)
+(* Formula resolution (annotation formulas -> logical formulas)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Unfold one specvar of class [cname] with receiver [recv]: substitute
+   the definition body resolved against that receiver. *)
+let rec unfold_specvar env (visiting : string list) (cname : string)
+    (sv : Ast.specvar_decl) (recv : Form.t option) : Form.t =
+  let key = qualify cname sv.Ast.sv_name in
+  if List.mem key visiting then error "recursive vardefs for %s" key;
+  let unfoldable = sv.Ast.sv_def <> None && not sv.Ast.sv_ghost in
+  if unfoldable && cname <> env.home then
+    (* another class's abstraction: clients see the specvar as opaque
+       abstract state, exactly as the paper's interface view intends *)
+    if sv.Ast.sv_static || is_globalized env cname sv.Ast.sv_name then
+      Form.Var key
+    else begin
+      match recv with
+      | Some r -> Form.mk_field_read (Form.Var key) r
+      | None -> error "instance specvar %s used without receiver" key
+    end
+  else
+  match sv.Ast.sv_def, sv.Ast.sv_ghost with
+  | None, _ | _, true ->
+    (* abstract state: ghost or undefined specvar *)
+    if sv.Ast.sv_static || is_globalized env cname sv.Ast.sv_name then
+      Form.Var key
+    else begin
+      match recv with
+      | Some r -> Form.mk_field_read (Form.Var key) r
+      | None -> error "instance specvar %s used without receiver" key
+    end
+  | Some def, false ->
+    let cls =
+      match Ast.find_class env.prog cname with
+      | Some c -> c
+      | None -> error "unknown class %s" cname
+    in
+    resolve_form { env with cls } ~visiting:(key :: visiting) ~this:recv def
+
+(* Resolve an annotation formula: qualify fields, unfold defined
+   specvars, resolve unqualified names against the receiver. *)
+and resolve_form env ?(visiting = []) ~(this : Form.t option) (f : Form.t) :
+    Form.t =
+  let resolve_name (x : string) : Form.t =
+    if x = "result" || x = "this" then
+      if x = "this" then
+        match this with Some t -> t | None -> Form.Var "this"
+      else Form.Var x
+    else if String.contains x '.' then begin
+      (* qualified: C.member *)
+      let cname = String.sub x 0 (String.index x '.') in
+      let member = String.sub x (String.index x '.' + 1)
+          (String.length x - String.index x '.' - 1) in
+      match Ast.find_class env.prog cname with
+      | None -> Form.Var x (* Object.alloc and friends *)
+      | Some c -> (
+        match Ast.find_specvar c member with
+        | Some sv when sv.Ast.sv_def <> None && not sv.Ast.sv_ghost ->
+          (* a defined specvar used as a bare qualified name: only
+             meaningful under a field read, handled below; as a global it
+             must be static *)
+          if sv.Ast.sv_static || is_globalized env cname member then
+            unfold_specvar env visiting cname sv None
+          else Form.Var x
+        | Some sv -> unfold_specvar env visiting cname sv None
+        | None -> Form.Var x)
+    end
+    else if List.assoc_opt x env.locals <> None then Form.Var x
+    else begin
+      match Ast.find_specvar env.cls x with
+      | Some sv ->
+        if sv.Ast.sv_static || is_globalized env env.cls.Ast.c_name x then
+          unfold_specvar env visiting env.cls.Ast.c_name sv None
+        else unfold_specvar env visiting env.cls.Ast.c_name sv this
+      | None -> (
+        match Ast.find_field env.cls x with
+        | Some _ ->
+          let key = qualify env.cls.Ast.c_name x in
+          if is_globalized env env.cls.Ast.c_name x then Form.Var key
+          else begin
+            match this with
+            | Some t -> Form.mk_field_read (Form.Var key) t
+            | None -> error "field %s used in static context" x
+          end
+        | None -> Form.Var x (* bound var or free logical var *))
+    end
+  in
+  let rec go bound (f : Form.t) : Form.t =
+    match f with
+    | Form.Var x -> if Form.Sset.mem x bound then f else resolve_name x
+    | Form.Const _ -> f
+    | Form.App (Form.Const Form.FieldRead, [ fld; obj ]) -> begin
+      (* a..C.sv where sv is a defined specvar unfolds at obj *)
+      let obj' = go bound obj in
+      match Form.strip_types fld with
+      | Form.Var qx when String.contains qx '.' -> begin
+        let cname = String.sub qx 0 (String.index qx '.') in
+        let member = String.sub qx (String.index qx '.' + 1)
+            (String.length qx - String.index qx '.' - 1) in
+        match Ast.find_class env.prog cname with
+        | Some c -> (
+          match Ast.find_specvar c member with
+          | Some sv when sv.Ast.sv_def <> None && not sv.Ast.sv_ghost ->
+            unfold_specvar env visiting cname sv (Some obj')
+          | Some _ | None -> Form.mk_field_read (Form.Var qx) obj')
+        | None -> Form.mk_field_read (Form.Var qx) obj'
+      end
+      | Form.Var ux -> begin
+        (* unqualified field name in x..f position: resolve against the
+           class of... without full typing we qualify against the
+           enclosing class chain: prefer a field of any class with that
+           name (unambiguous in our programs) *)
+        match
+          List.find_opt
+            (fun (c : Ast.class_decl) -> Ast.find_field c ux <> None)
+            env.prog
+        with
+        | Some c -> Form.mk_field_read (Form.Var (qualify c.Ast.c_name ux)) obj'
+        | None -> (
+          match
+            List.find_opt
+              (fun (c : Ast.class_decl) -> Ast.find_specvar c ux <> None)
+              env.prog
+          with
+          | Some c -> (
+            let sv = Option.get (Ast.find_specvar c ux) in
+            if sv.Ast.sv_def <> None && not sv.Ast.sv_ghost then
+              unfold_specvar env visiting c.Ast.c_name sv (Some obj')
+            else Form.mk_field_read (Form.Var (qualify c.Ast.c_name ux)) obj')
+          | None -> Form.mk_field_read (go bound fld) obj')
+      end
+      | _ -> Form.mk_field_read (go bound fld) obj'
+    end
+    | Form.App (g, args) -> Form.App (go bound g, List.map (go bound) args)
+    | Form.Binder (b, vars, body) ->
+      let bound' =
+        List.fold_left (fun s (x, _) -> Form.Sset.add x s) bound vars
+      in
+      Form.Binder (b, vars, go bound' body)
+    | Form.TypedForm (g, ty) -> Form.TypedForm (go bound g, ty)
+  in
+  go Form.Sset.empty f
+
+(* ------------------------------------------------------------------ *)
+(* Expression desugaring                                               *)
+(* ------------------------------------------------------------------ *)
+
+let field_var env (e_recv : Ast.expr) (fname : string) : string =
+  match jtype_of env e_recv with
+  | Ast.Tclass c -> qualify c fname
+  | t -> error "field %s on non-object %s" fname (Ast.jtype_to_string t)
+
+let jtype_default (t : Ast.jtype) : Form.t =
+  match t with
+  | Ast.Tint -> Form.mk_int 0
+  | Ast.Tbool -> Form.mk_false
+  | Ast.Tvoid | Ast.Tclass _ | Ast.Tarray _ -> Form.mk_null
+
+let rec desugar_expr env (e : Ast.expr) : Cmd.command * Form.t =
+  match e with
+  | Ast.Int_lit n -> (Cmd.Skip, Form.mk_int n)
+  | Ast.Bool_lit b -> (Cmd.Skip, Form.mk_bool b)
+  | Ast.Null_lit -> (Cmd.Skip, Form.mk_null)
+  | Ast.This -> (Cmd.Skip, Form.Var "this")
+  | Ast.Local x ->
+    if List.assoc_opt x env.locals <> None then (Cmd.Skip, Form.Var x)
+    else begin
+      match Ast.find_field env.cls x with
+      | Some _ ->
+        let key = qualify env.cls.Ast.c_name x in
+        if is_globalized env env.cls.Ast.c_name x then (Cmd.Skip, Form.Var key)
+        else (Cmd.Skip, Form.mk_field_read (Form.Var key) (Form.Var "this"))
+      | None -> (
+        match Ast.find_specvar env.cls x with
+        | Some sv when sv.Ast.sv_ghost ->
+          let key = qualify env.cls.Ast.c_name x in
+          if sv.Ast.sv_static || is_globalized env env.cls.Ast.c_name x then
+            (Cmd.Skip, Form.Var key)
+          else
+            (Cmd.Skip, Form.mk_field_read (Form.Var key) (Form.Var "this"))
+        | _ -> error "unbound identifier %s" x)
+    end
+  | Ast.Field_access (obj, "length")
+    when (match jtype_of env obj with Ast.Tarray _ -> true | _ -> false) ->
+    let c_obj, v_obj = desugar_expr env obj in
+    ( Cmd.seq
+        [ c_obj;
+          Cmd.Assert (Form.mk_neq v_obj Form.mk_null, "array non-null (.length)")
+        ],
+      Form.mk_field_read (Form.Var array_length_var) v_obj )
+  | Ast.Array_length obj ->
+    let c_obj, v_obj = desugar_expr env obj in
+    ( Cmd.seq
+        [ c_obj;
+          Cmd.Assert (Form.mk_neq v_obj Form.mk_null, "array non-null (.length)")
+        ],
+      Form.mk_field_read (Form.Var array_length_var) v_obj )
+  | Ast.Index (arr, idx) ->
+    let c_arr, v_arr = desugar_expr env arr in
+    let c_idx, v_idx = desugar_expr env idx in
+    let len = Form.mk_field_read (Form.Var array_length_var) v_arr in
+    ( Cmd.seq
+        [ c_arr;
+          c_idx;
+          Cmd.Assert (Form.mk_neq v_arr Form.mk_null, "array non-null");
+          Cmd.Assert
+            ( Form.mk_and
+                [ Form.mk_le (Form.mk_int 0) v_idx; Form.mk_lt v_idx len ],
+              "array index within bounds" );
+        ],
+      Form.mk_array_read (Form.Var array_state_var) v_arr v_idx )
+  | Ast.New_array (elem_t, size) ->
+    let c_size, v_size = desugar_expr env size in
+    let o = fresh env "fresh_array" in
+    env.locals <- (o, Ast.Tarray elem_t) :: env.locals;
+    let alloc = Form.Var alloc_var in
+    let i = fresh env "idx" in
+    ( Cmd.seq
+        [ c_size;
+          Cmd.Assert
+            (Form.mk_ge v_size (Form.mk_int 0), "array size non-negative");
+          Cmd.Havoc [ o ];
+          Cmd.Assume
+            (Form.mk_and
+               [ Form.mk_neq (Form.Var o) Form.mk_null;
+                 Form.mk_notelem (Form.Var o) alloc;
+                 Form.mk_eq
+                   (Form.mk_field_read (Form.Var array_length_var) (Form.Var o))
+                   v_size;
+                 Form.mk_forall
+                   [ (i, Ftype.Int) ]
+                   (Form.mk_eq
+                      (Form.mk_array_read (Form.Var array_state_var)
+                         (Form.Var o) (Form.Var i))
+                      (jtype_default elem_t));
+               ]);
+          Cmd.Assign
+            (alloc_var, Form.mk_union alloc (Form.mk_singleton (Form.Var o)));
+        ],
+      Form.Var o )
+  | Ast.Field_access (obj, f) ->
+    let c_obj, v_obj = desugar_expr env obj in
+    let fv = field_var env obj f in
+    ( Cmd.seq
+        [ c_obj;
+          Cmd.Assert
+            (Form.mk_neq v_obj Form.mk_null, "receiver of ." ^ f ^ " non-null")
+        ],
+      Form.mk_field_read (Form.Var fv) v_obj )
+  | Ast.Binop (op, a, b) ->
+    let ca, va = desugar_expr env a in
+    let cb, vb = desugar_expr env b in
+    let v =
+      match op with
+      | Ast.Add -> Form.mk_plus va vb
+      | Ast.Sub -> Form.mk_minus va vb
+      | Ast.Mul -> Form.mk_mult va vb
+      | Ast.Div -> Form.App (Form.Const Form.Div, [ va; vb ])
+      | Ast.Mod -> Form.App (Form.Const Form.Mod, [ va; vb ])
+      | Ast.Eq -> Form.mk_eq va vb
+      | Ast.Neq -> Form.mk_neq va vb
+      | Ast.Lt -> Form.mk_lt va vb
+      | Ast.Le -> Form.mk_le va vb
+      | Ast.Gt -> Form.mk_gt va vb
+      | Ast.Ge -> Form.mk_ge va vb
+      | Ast.And -> Form.mk_and [ va; vb ]
+      | Ast.Or -> Form.mk_or [ va; vb ]
+    in
+    (Cmd.seq [ ca; cb ], v)
+  | Ast.Not e ->
+    let c, v = desugar_expr env e in
+    (c, Form.mk_not v)
+  | Ast.Neg e ->
+    let c, v = desugar_expr env e in
+    (c, Form.mk_uminus v)
+  | Ast.Cast (_, e) -> desugar_expr env e
+  | Ast.New cname -> desugar_new env cname
+  | Ast.Call call -> desugar_call env call
+
+(* fresh object allocation with default field values *)
+and desugar_new env (cname : string) : Cmd.command * Form.t =
+  let o = fresh env ("fresh_" ^ cname) in
+  env.locals <- (o, Ast.Tclass cname) :: env.locals;
+  let alloc = Form.Var alloc_var in
+  let default_field (f : Ast.field_decl) =
+    let key = qualify cname f.Ast.f_name in
+    let default = jtype_default f.Ast.f_type in
+    Cmd.Assume (Form.mk_eq (Form.mk_field_read (Form.Var key) (Form.Var o)) default)
+  in
+  let defaults =
+    match Ast.find_class env.prog cname with
+    | Some c -> List.map default_field c.Ast.c_fields
+    | None -> [] (* Object *)
+  in
+  let cmds =
+    [ Cmd.Havoc [ o ];
+      Cmd.Assume
+        (Form.mk_and
+           [ Form.mk_neq (Form.Var o) Form.mk_null;
+             Form.mk_notelem (Form.Var o) alloc ]);
+    ]
+    @ defaults
+    @ [ Cmd.Assign (alloc_var, Form.mk_union alloc (Form.mk_singleton (Form.Var o))) ]
+  in
+  (* run the constructor contract if the class declares one *)
+  let ctor_cmds =
+    match Ast.find_class env.prog cname with
+    | Some c -> (
+      match
+        List.find_opt (fun m -> m.Ast.m_is_constructor) c.Ast.c_methods
+      with
+      | Some ctor ->
+        [ apply_contract env c ctor ~recv:(Some (Form.Var o)) ~args:[]
+            ~result:None ]
+      | None -> [])
+    | None -> []
+  in
+  (Cmd.seq (cmds @ ctor_cmds), Form.Var o)
+
+(* modular call: assert pre, havoc frame, assume post *)
+and apply_contract env (callee_cls : Ast.class_decl)
+    (callee : Ast.method_decl) ~(recv : Form.t option) ~(args : Form.t list)
+    ~(result : string option) : Cmd.command =
+  let cname = callee_cls.Ast.c_name in
+  let contract = callee.Ast.m_contract in
+  (* environment for resolving the callee's contract formulas *)
+  let callee_env =
+    { env with cls = callee_cls; mtd = callee;
+      locals = List.map (fun (t, x) -> (x, t)) callee.Ast.m_params }
+  in
+  let param_subst =
+    List.map2 (fun (_, x) v -> (x, v)) callee.Ast.m_params args
+  in
+  let resolve_contract_form f =
+    let resolved = resolve_form callee_env ~this:recv f in
+    Form.subst_list param_subst resolved
+  in
+  let pre =
+    match contract.Ast.requires with
+    | Some f -> resolve_contract_form f
+    | None -> Form.mk_true
+  in
+  (* the frame: what the callee may modify *)
+  let frame_of_modifies (m : string) : string list * Form.t list =
+    (* returns (variables to havoc, frame assumptions) *)
+    let resolve_member cname member =
+      match Ast.find_class env.prog cname with
+      | None -> ([ m ], [])
+      | Some c -> (
+        match Ast.find_specvar c member with
+        | Some sv when sv.Ast.sv_def <> None && not sv.Ast.sv_ghost ->
+          (* modifying a derived set.  Inside its own class the concrete
+             footprint is havoced (the definition unfolds over it);
+             from outside, the abstract variable itself is state. *)
+          let footprint =
+            if cname = env.home then class_footprint env.prog cname
+            else [ qualify cname member; alloc_var ]
+          in
+          let frame =
+            match recv with
+            | Some r when not sv.Ast.sv_static ->
+              (* ALL v. v ~= recv & v : old alloc -> v..sv = old(v..sv) *)
+              let v = fresh env "frame" in
+              let sv_at who =
+                unfold_specvar env [] cname sv (Some who)
+              in
+              let unchanged =
+                Form.mk_forall
+                  [ (v, Ftype.Obj) ]
+                  (Form.mk_impl
+                     (Form.mk_and
+                        [ Form.mk_neq (Form.Var v) r;
+                          Form.mk_elem (Form.Var v)
+                            (Form.mk_old (Form.Var alloc_var)) ])
+                     (Form.mk_eq (sv_at (Form.Var v))
+                        (Form.mk_old (sv_at (Form.Var v)))))
+              in
+              [ unchanged ]
+            | _ -> []
+          in
+          (footprint, frame)
+        | Some sv ->
+          (* ghost/abstract specvar: instance ghosts get the same
+             other-instances-unchanged frame as derived sets *)
+          if sv.Ast.sv_static || is_globalized env cname member then
+            ([ qualify cname member ], [])
+          else begin
+            let frame =
+              match recv with
+              | Some r ->
+                let v = fresh env "frame" in
+                let key = Form.Var (qualify cname member) in
+                let at who = Form.mk_field_read key who in
+                [ Form.mk_forall
+                    [ (v, Ftype.Obj) ]
+                    (Form.mk_impl
+                       (Form.mk_and
+                          [ Form.mk_neq (Form.Var v) r;
+                            Form.mk_elem (Form.Var v)
+                              (Form.mk_old (Form.Var alloc_var)) ])
+                       (Form.mk_eq (at (Form.Var v))
+                          (Form.mk_old (at (Form.Var v))))) ]
+              | None -> []
+            in
+            ([ qualify cname member ], frame)
+          end
+        | None -> (
+          match Ast.find_field c member with
+          | Some f ->
+            if f.Ast.f_static || is_globalized env cname member then
+              ([ qualify cname member ], [])
+            else ([ qualify cname member ], [])
+          | None -> ([ m ], [])))
+    in
+    if String.contains m '.' then begin
+      let i = String.index m '.' in
+      resolve_member (String.sub m 0 i)
+        (String.sub m (i + 1) (String.length m - i - 1))
+    end
+    else resolve_member cname m
+  in
+  let havocs, frames =
+    List.fold_left
+      (fun (hs, fs) m ->
+        let h, f = frame_of_modifies m in
+        (hs @ h, fs @ f))
+      ([], []) contract.Ast.modifies
+  in
+  (* calls may allocate: the allocation set grows *)
+  let havocs = List.sort_uniq compare (alloc_var :: havocs) in
+  let alloc_growth =
+    Form.mk_subseteq (Form.mk_old (Form.Var alloc_var)) (Form.Var alloc_var)
+  in
+  let res_var, res_assign =
+    match result, callee.Ast.m_ret with
+    | Some x, _ -> (Some x, [])
+    | None, Ast.Tvoid -> (None, [])
+    | None, _ ->
+      let r = fresh env "res" in
+      (Some r, [])
+  in
+  ignore res_assign;
+  let post =
+    match contract.Ast.ensures with
+    | Some f ->
+      let resolved = resolve_contract_form f in
+      let resolved =
+        match res_var with
+        | Some r -> Form.subst1 "result" (Form.Var r) resolved
+        | None -> resolved
+      in
+      resolved
+    | None -> Form.mk_true
+  in
+  let post_with_frame = Form.mk_and ((post :: frames) @ [ alloc_growth ]) in
+  (* snapshot state variables mentioned under old *)
+  let state_vars = havocs in
+  let snapshot_pairs =
+    List.map (fun v -> (v, fresh env ("pre_" ^ String.map (fun c -> if c = '.' then '_' else c) v))) state_vars
+  in
+  let snapshot_cmds =
+    List.map (fun (v, pv) -> Cmd.Assign (pv, Form.Var v)) snapshot_pairs
+  in
+  (* old e -> e with state vars replaced by their snapshots *)
+  let eliminate_old (f : Form.t) : Form.t =
+    let rename_state g =
+      Form.subst_list
+        (List.map (fun (v, pv) -> (v, Form.Var pv)) snapshot_pairs)
+        g
+    in
+    Form.map_bottom_up
+      (fun g ->
+        match g with
+        | Form.App (Form.Const Form.Old, [ inner ]) -> rename_state inner
+        | _ -> g)
+      f
+  in
+  let post_final = eliminate_old post_with_frame in
+  let havoc_res =
+    match res_var with Some r -> [ Cmd.Havoc [ r ] ] | None -> []
+  in
+  Cmd.seq
+    (snapshot_cmds
+    @ [ Cmd.Assert
+          (pre, Printf.sprintf "precondition of %s.%s" cname callee.Ast.m_name)
+      ]
+    @ [ Cmd.Havoc havocs ]
+    @ havoc_res
+    @ [ Cmd.Assume post_final ])
+
+and desugar_call env (call : Ast.call) : Cmd.command * Form.t =
+  let callee_cls, callee = resolve_call env call in
+  let recv_cmd, recv_val =
+    match call.Ast.call_recv with
+    | Some (Ast.Local x)
+      when List.assoc_opt x env.locals = None
+           && Ast.find_field env.cls x = None
+           && Ast.find_class env.prog x <> None ->
+      (Cmd.Skip, None) (* static call C.m() *)
+    | Some recv ->
+      let c, v = desugar_expr env recv in
+      ( Cmd.seq
+          [ c;
+            Cmd.Assert
+              ( Form.mk_neq v Form.mk_null,
+                "receiver of call to " ^ call.Ast.call_name ^ " non-null" );
+          ],
+        Some v )
+    | None ->
+      if callee.Ast.m_static then (Cmd.Skip, None)
+      else (Cmd.Skip, Some (Form.Var "this"))
+  in
+  let arg_cmds, arg_vals =
+    List.fold_left
+      (fun (cs, vs) a ->
+        let c, v = desugar_expr env a in
+        (cs @ [ c ], vs @ [ v ]))
+      ([], []) call.Ast.call_args
+  in
+  let result_var =
+    match callee.Ast.m_ret with
+    | Ast.Tvoid -> None
+    | t ->
+      let r = fresh env ("call_" ^ call.Ast.call_name) in
+      env.locals <- (r, t) :: env.locals;
+      Some r
+  in
+  let contract_cmd =
+    apply_contract env callee_cls callee ~recv:recv_val ~args:arg_vals
+      ~result:result_var
+  in
+  let result_form =
+    match result_var with
+    | Some r -> Form.Var r
+    | None -> Form.mk_true (* void in expression position: unused *)
+  in
+  (Cmd.seq ([ recv_cmd ] @ arg_cmds @ [ contract_cmd ]), result_form)
+
+(* ------------------------------------------------------------------ *)
+(* Statement desugaring                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec desugar_stmts env (stmts : Ast.stmt list) : Cmd.command =
+  Cmd.seq (List.map (desugar_stmt env) stmts)
+
+and desugar_stmt env (s : Ast.stmt) : Cmd.command =
+  match s with
+  | Ast.Block b -> desugar_stmts env b
+  | Ast.Var_decl (ty, x, init) ->
+    env.locals <- (x, ty) :: env.locals;
+    (match init with
+    | None -> Cmd.Havoc [ x ]
+    | Some e ->
+      let c, v = desugar_expr env e in
+      Cmd.seq [ c; Cmd.Assign (x, v) ])
+  | Ast.Assign (Ast.Lhs_local x, e) ->
+    let c, v = desugar_expr env e in
+    if List.assoc_opt x env.locals <> None then Cmd.seq [ c; Cmd.Assign (x, v) ]
+    else begin
+      (* unqualified field or globalized member *)
+      match Ast.find_field env.cls x, Ast.find_specvar env.cls x with
+      | Some _, _ ->
+        let key = qualify env.cls.Ast.c_name x in
+        if is_globalized env env.cls.Ast.c_name x then
+          Cmd.seq [ c; Cmd.Assign (key, v) ]
+        else
+          Cmd.seq
+            [ c;
+              Cmd.Assign
+                ( key,
+                  Form.mk_field_write (Form.Var key) (Form.Var "this") v );
+            ]
+      | None, Some sv when sv.Ast.sv_ghost ->
+        error "ghost variable %s must be assigned with //: %s := ..." x x
+      | None, _ -> error "unbound assignment target %s" x
+    end
+  | Ast.Assign (Ast.Lhs_index (arr, idx), e) ->
+    let c_arr, v_arr = desugar_expr env arr in
+    let c_idx, v_idx = desugar_expr env idx in
+    let c_val, v_val = desugar_expr env e in
+    let len = Form.mk_field_read (Form.Var array_length_var) v_arr in
+    Cmd.seq
+      [ c_arr;
+        c_idx;
+        c_val;
+        Cmd.Assert (Form.mk_neq v_arr Form.mk_null, "array non-null (store)");
+        Cmd.Assert
+          ( Form.mk_and
+              [ Form.mk_le (Form.mk_int 0) v_idx; Form.mk_lt v_idx len ],
+            "array store index within bounds" );
+        Cmd.Assign
+          ( array_state_var,
+            Form.mk_array_write (Form.Var array_state_var) v_arr v_idx v_val
+          );
+      ]
+  | Ast.Assign (Ast.Lhs_field (obj, f), e) ->
+    let c_obj, v_obj = desugar_expr env obj in
+    let c_val, v_val = desugar_expr env e in
+    let key = field_var env obj f in
+    Cmd.seq
+      [ c_obj;
+        c_val;
+        Cmd.Assert (Form.mk_neq v_obj Form.mk_null, "assignment receiver non-null");
+        Cmd.Assign (key, Form.mk_field_write (Form.Var key) v_obj v_val);
+      ]
+  | Ast.Expr_stmt e ->
+    let c, _ = desugar_expr env e in
+    c
+  | Ast.If (cond, then_b, else_b) ->
+    let c, v = desugar_expr env cond in
+    let t = desugar_stmts env then_b in
+    let f = desugar_stmts env else_b in
+    Cmd.seq
+      [ c;
+        Cmd.Choice
+          (Cmd.seq [ Cmd.Assume v; t ], Cmd.seq [ Cmd.Assume (Form.mk_not v); f ]);
+      ]
+  | Ast.While (inv, cond, body) ->
+    let c, v = desugar_expr env cond in
+    let inv =
+      Option.map (fun f -> resolve_form env ~this:(this_of env) f) inv
+    in
+    let b = desugar_stmts env body in
+    Cmd.Loop
+      { loop_invariant = inv; loop_cond = v; loop_prelude = c; loop_body = b }
+  | Ast.Return None -> Cmd.Skip
+  | Ast.Return (Some e) ->
+    let c, v = desugar_expr env e in
+    Cmd.seq [ c; Cmd.Assign ("result", v) ]
+  | Ast.Spec sp -> (
+    let resolve f = resolve_form env ~this:(this_of env) f in
+    match sp with
+    | Ast.Ghost_assign (x, f) -> begin
+      let rhs = resolve f in
+      match Ast.find_specvar env.cls x with
+      | Some sv when sv.Ast.sv_ghost ->
+        let key = qualify env.cls.Ast.c_name x in
+        if sv.Ast.sv_static || is_globalized env env.cls.Ast.c_name x then
+          Cmd.Assign (key, rhs)
+        else
+          Cmd.Assign
+            (key, Form.mk_field_write (Form.Var key) (Form.Var "this") rhs)
+      | Some _ -> error "ghost assignment to non-ghost specvar %s" x
+      | None ->
+        if List.assoc_opt x env.locals <> None then Cmd.Assign (x, rhs)
+        else error "ghost assignment to unknown variable %s" x
+    end
+    | Ast.Assert_spec (lbl, f) ->
+      Cmd.Assert (resolve f, Option.value lbl ~default:"assert annotation")
+    | Ast.Assume_spec (_, f) -> Cmd.Assume (resolve f)
+    | Ast.Note_that (lbl, f) ->
+      let rf = resolve f in
+      Cmd.seq
+        [ Cmd.Assert (rf, Option.value lbl ~default:"noteThat");
+          Cmd.Assume rf ]
+    | Ast.Loop_invariant _ -> Cmd.Skip (* consumed by the while parser *))
+
+and this_of env = if env.mtd.Ast.m_static then None else Some (Form.Var "this")
+
+(* ------------------------------------------------------------------ *)
+(* Method tasks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type method_task = {
+  task_name : string; (* "List.add" *)
+  task_command : Cmd.command; (* entry assumptions .. body .. exit asserts *)
+  task_state_vars : string list;
+  task_seeds : Form.t list;
+      (* resolved contract/invariant formulas: the candidate vocabulary
+         for loop-invariant inference *)
+}
+
+(* snapshot-based old-elimination for the method's own contract *)
+let eliminate_old_with (pairs : (string * string) list) (f : Form.t) : Form.t =
+  let rename g =
+    Form.subst_list (List.map (fun (v, pv) -> (v, Form.Var pv)) pairs) g
+  in
+  Form.map_bottom_up
+    (fun g ->
+      match g with
+      | Form.App (Form.Const Form.Old, [ inner ]) -> rename inner
+      | _ -> g)
+    f
+
+(** Build the proof task for one method: assume precondition and
+    invariants, desugar the body, assert postcondition and invariants. *)
+let method_task (prog : Ast.program) (cls : Ast.class_decl)
+    (mtd : Ast.method_decl) : method_task =
+  let globalized = compute_globalized prog in
+  let env =
+    { prog; home = cls.Ast.c_name; cls; mtd; globalized;
+      locals = List.map (fun (t, x) -> (x, t)) mtd.Ast.m_params;
+      counter = 0 }
+  in
+  let this = this_of env in
+  let resolve f = resolve_form env ~this f in
+  let state_vars = program_state_vars prog env.home globalized in
+  (* snapshots for old *)
+  let snapshot_pairs =
+    List.map
+      (fun v ->
+        (v, "old_" ^ String.map (fun c -> if c = '.' then '_' else c) v))
+      state_vars
+  in
+  let snapshots =
+    List.map (fun (v, pv) -> Cmd.Assign (pv, Form.Var v)) snapshot_pairs
+  in
+  let invariants =
+    List.map resolve cls.Ast.c_invariants
+  in
+  (* background axiom: global object references are allocated (or null) —
+     the usual well-formed-heap assumption *)
+  let background =
+    List.concat_map
+      (fun (c : Ast.class_decl) ->
+        List.filter_map
+          (fun (f : Ast.field_decl) ->
+            match f.Ast.f_type with
+            | (Ast.Tclass _ | Ast.Tarray _)
+              when f.Ast.f_static || is_globalized env c.Ast.c_name f.Ast.f_name
+              ->
+              let g = Form.Var (qualify c.Ast.c_name f.Ast.f_name) in
+              Some
+                (Form.mk_impl
+                   (Form.mk_neq g Form.mk_null)
+                   (Form.mk_elem g (Form.Var alloc_var)))
+            | _ -> None)
+          c.Ast.c_fields)
+      prog
+  in
+  let pre =
+    (match mtd.Ast.m_contract.Ast.requires with
+    | Some f -> [ resolve f ]
+    | None -> [])
+    @ invariants
+    @ background
+    @
+    match this with
+    | Some t ->
+      [ Form.mk_neq t Form.mk_null;
+        Form.mk_elem t (Form.Var alloc_var) ]
+    | None -> []
+  in
+  (* constructors start from a fresh object with default fields *)
+  let ctor_assumptions =
+    if not mtd.Ast.m_is_constructor then []
+    else begin
+      let this_v = Form.Var "this" in
+      List.map
+        (fun (f : Ast.field_decl) ->
+          let key = qualify cls.Ast.c_name f.Ast.f_name in
+          let default = jtype_default f.Ast.f_type in
+          Cmd.Assume (Form.mk_eq (Form.mk_field_read (Form.Var key) this_v) default))
+        cls.Ast.c_fields
+    end
+  in
+  (* constructors do not assume the class invariant on entry *)
+  let pre =
+    if mtd.Ast.m_is_constructor then
+      (match mtd.Ast.m_contract.Ast.requires with
+      | Some f -> [ resolve f ]
+      | None -> [])
+      @ [ Form.mk_neq (Form.Var "this") Form.mk_null ]
+    else pre
+  in
+  let elim = eliminate_old_with snapshot_pairs in
+  let body =
+    match mtd.Ast.m_body with
+    | Some b ->
+      (* body annotations may also mention [old] *)
+      Cmd.map_formulas elim (desugar_stmts env b)
+    | None -> Cmd.Skip
+  in
+  let post_asserts =
+    (match mtd.Ast.m_contract.Ast.ensures with
+    | Some f ->
+      [ Cmd.Assert
+          (elim (resolve f), Printf.sprintf "postcondition of %s" mtd.Ast.m_name)
+      ]
+    | None -> [])
+    @ List.mapi
+        (fun i inv ->
+          Cmd.Assert
+            (elim inv, Printf.sprintf "invariant %d of %s preserved" (i + 1)
+               cls.Ast.c_name))
+        invariants
+  in
+  let command =
+    Cmd.seq
+      (snapshots
+      @ ctor_assumptions
+      @ List.map (fun f -> Cmd.Assume f) pre
+      @ [ body ]
+      @ post_asserts)
+  in
+  let seeds =
+    pre
+    @ invariants
+    @ (match mtd.Ast.m_contract.Ast.ensures with
+      | Some f -> [ elim (resolve f) ]
+      | None -> [])
+  in
+  {
+    task_name = qualify cls.Ast.c_name mtd.Ast.m_name;
+    task_command = command;
+    task_state_vars = state_vars;
+    task_seeds = seeds;
+  }
+
+(** All proof tasks of a program (methods with bodies). *)
+let program_tasks (prog : Ast.program) : method_task list =
+  List.concat_map
+    (fun (c : Ast.class_decl) ->
+      List.filter_map
+        (fun (m : Ast.method_decl) ->
+          match m.Ast.m_body with
+          | Some _ -> Some (method_task prog c m)
+          | None -> None)
+        c.Ast.c_methods)
+    prog

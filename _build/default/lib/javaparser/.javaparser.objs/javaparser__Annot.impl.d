@@ -1,0 +1,1 @@
+lib/javaparser/annot.ml: Ast Format List Logic Str_index String

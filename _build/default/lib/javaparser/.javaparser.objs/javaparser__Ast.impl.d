@@ -1,0 +1,1 @@
+lib/javaparser/ast.ml: List Logic Printf String

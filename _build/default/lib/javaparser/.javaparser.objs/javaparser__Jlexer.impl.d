@@ -1,0 +1,1 @@
+lib/javaparser/jlexer.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/javaparser/jparser.ml: Annot Array Ast Format Jlexer List Logic

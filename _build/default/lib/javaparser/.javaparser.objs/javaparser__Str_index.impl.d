@@ -1,0 +1,1 @@
+lib/javaparser/str_index.ml: String

@@ -1,0 +1,226 @@
+(** Parser for the specification annotations carried by [/*: ... */] and
+    [//: ...] comments.
+
+    Class-level annotations:
+    {v
+      public [static] [ghost] specvar name :: type;
+      [private] vardefs "name == formula";
+      invariant "formula";
+    v}
+
+    Method contracts (between signature and body):
+    {v
+      requires "F" modifies x, "C.y" ensures "G"
+    v}
+
+    Statement annotations:
+    {v
+      x := "F";            (ghost assignment)
+      assert "F";          assume "F";         noteThat "F";
+      inv "F";             (loop invariant, attaches to the next while)
+    v}
+
+    Formulas inside string quotes are parsed by {!Logic.Parser}. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* tiny token stream over annotation text *)
+type token =
+  | WORD of string
+  | QUOTED of string
+  | COLONCOLON
+  | ASSIGNOP (* := *)
+  | COMMA
+  | SEMI
+  | AEOF
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_word_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '*' then incr i
+    else if c = '/' && !i + 1 < n && s.[!i + 1] = '/' then begin
+      (* line comment inside an annotation block *)
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '"' do incr j done;
+      if !j >= n then error "unterminated formula string in annotation";
+      toks := QUOTED (String.sub s (!i + 1) (!j - !i - 1)) :: !toks;
+      i := !j + 1
+    end
+    else if c = ':' && !i + 1 < n && s.[!i + 1] = ':' then begin
+      toks := COLONCOLON :: !toks;
+      i := !i + 2
+    end
+    else if c = ':' && !i + 1 < n && s.[!i + 1] = '=' then begin
+      toks := ASSIGNOP :: !toks;
+      i := !i + 2
+    end
+    else if c = ',' then begin
+      toks := COMMA :: !toks;
+      incr i
+    end
+    else if c = ';' then begin
+      toks := SEMI :: !toks;
+      incr i
+    end
+    else if is_word_char c then begin
+      let j = ref !i in
+      while !j < n && is_word_char s.[!j] do incr j done;
+      toks := WORD (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else error "unexpected character %C in annotation" c
+  done;
+  List.rev (AEOF :: !toks)
+
+let parse_formula (text : string) : Logic.Form.t =
+  try Logic.Parser.parse text
+  with Logic.Parser.Error m -> error "bad formula %S: %s" text m
+
+(* ------------------------------------------------------------------ *)
+(* Class-level annotations                                             *)
+(* ------------------------------------------------------------------ *)
+
+type class_annot =
+  | Specvar of Ast.specvar_decl
+  | Vardefs of string * Logic.Form.t (* name, definition *)
+  | Invariant of Logic.Form.t
+  | Claimedby of string (* field modifier, used inline *)
+
+(* split token list on SEMI boundaries *)
+let split_semi (toks : token list) : token list list =
+  let rec go acc cur = function
+    | [] | [ AEOF ] ->
+      let cur = List.rev cur in
+      List.rev (if cur = [] then acc else cur :: acc)
+    | SEMI :: rest -> go (List.rev cur :: acc) [] rest
+    | t :: rest -> go acc (t :: cur) rest
+  in
+  List.filter (fun l -> l <> []) (go [] [] toks)
+
+let parse_specvar_group (group : token list) : class_annot list =
+  let rec modifiers public static ghost = function
+    | WORD "public" :: rest -> modifiers true static ghost rest
+    | WORD "private" :: rest -> modifiers false static ghost rest
+    | WORD "static" :: rest -> modifiers public true ghost rest
+    | WORD "ghost" :: rest -> modifiers public static true rest
+    | rest -> (public, static, ghost, rest)
+  in
+  let public, static, ghost, rest = modifiers false false false group in
+  match rest with
+  | WORD "specvar" :: WORD name :: COLONCOLON :: ty_toks ->
+    let ty_text =
+      String.concat " "
+        (List.filter_map
+           (function WORD w -> Some w | _ -> None)
+           ty_toks)
+    in
+    let sv_type =
+      try Logic.Parser.parse_ftype ty_text
+      with Logic.Parser.Error m -> error "bad specvar type %S: %s" ty_text m
+    in
+    [ Specvar
+        { Ast.sv_name = name; sv_type; sv_public = public; sv_static = static;
+          sv_ghost = ghost; sv_def = None } ]
+  | WORD "vardefs" :: QUOTED def :: _ ->
+    (* "name == formula" *)
+    let idx =
+      try Str_index.find def "=="
+      with Not_found -> error "vardefs without '==': %S" def
+    in
+    let name = String.trim (String.sub def 0 idx) in
+    let body =
+      String.sub def (idx + 2) (String.length def - idx - 2)
+    in
+    [ Vardefs (name, parse_formula body) ]
+  | WORD "invariant" :: QUOTED f :: _ -> [ Invariant (parse_formula f) ]
+  | WORD "claimedby" :: WORD c :: _ -> [ Claimedby c ]
+  | [] -> []
+  | WORD w :: _ -> error "unknown class annotation keyword %S" w
+  | (QUOTED _ | COLONCOLON | ASSIGNOP | COMMA | SEMI | AEOF) :: _ ->
+    error "malformed class annotation"
+
+(** Parse the contents of a class-level annotation comment (may contain
+    several declarations). *)
+let parse_class_annot (text : string) : class_annot list =
+  List.concat_map parse_specvar_group (split_semi (tokenize text))
+
+(* ------------------------------------------------------------------ *)
+(* Method contracts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_contract (text : string) : Ast.contract =
+  let toks = tokenize text in
+  let contract = ref Ast.empty_contract in
+  let rec go = function
+    | AEOF :: _ | [] -> ()
+    | WORD "requires" :: QUOTED f :: rest ->
+      contract := { !contract with requires = Some (parse_formula f) };
+      go rest
+    | WORD "ensures" :: QUOTED f :: rest ->
+      contract := { !contract with ensures = Some (parse_formula f) };
+      go rest
+    | WORD "modifies" :: rest ->
+      let rec items acc = function
+        | WORD w :: COMMA :: rest -> items (w :: acc) rest
+        | QUOTED w :: COMMA :: rest -> items (w :: acc) rest
+        | WORD w :: rest -> (w :: acc, rest)
+        | QUOTED w :: rest -> (w :: acc, rest)
+        | rest -> (acc, rest)
+      in
+      let mods, rest = items [] rest in
+      contract := { !contract with modifies = !contract.modifies @ List.rev mods };
+      go rest
+    | SEMI :: rest -> go rest
+    | t :: _ ->
+      error "unexpected token in method contract (%s)"
+        (match t with
+        | WORD w -> w
+        | QUOTED q -> "\"" ^ q ^ "\""
+        | COLONCOLON -> "::"
+        | ASSIGNOP -> ":="
+        | COMMA -> ","
+        | SEMI -> ";"
+        | AEOF -> "<eof>")
+  in
+  go toks;
+  !contract
+
+(* ------------------------------------------------------------------ *)
+(* Statement annotations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_stmt_annot (text : string) : Ast.spec_stmt list =
+  let groups = split_semi (tokenize text) in
+  List.filter_map
+    (fun group ->
+      match group with
+      | [] -> None
+      | WORD "assert" :: QUOTED f :: _ ->
+        Some (Ast.Assert_spec (None, parse_formula f))
+      | WORD "assume" :: QUOTED f :: _ ->
+        Some (Ast.Assume_spec (None, parse_formula f))
+      | WORD "noteThat" :: QUOTED f :: _ ->
+        Some (Ast.Note_that (None, parse_formula f))
+      | WORD "inv" :: QUOTED f :: _ | WORD "invariant" :: QUOTED f :: _ ->
+        Some (Ast.Loop_invariant (parse_formula f))
+      | WORD x :: ASSIGNOP :: QUOTED f :: _ ->
+        Some (Ast.Ghost_assign (x, parse_formula f))
+      | WORD x :: ASSIGNOP :: WORD w :: _ ->
+        (* unquoted ghost assignment of simple value *)
+        Some (Ast.Ghost_assign (x, Logic.Form.mk_var w))
+      | _ -> error "malformed statement annotation %S" text)
+    groups

@@ -1,0 +1,194 @@
+(** Abstract syntax for the Jahob input language: the Java subset plus
+    specification annotations (which parse into {!Logic.Form} values).
+
+    The shape mirrors the paper's figures: classes contain fields, spec
+    variables with optional [vardefs] abstraction functions, class
+    invariants, and methods carrying [requires] / [modifies] / [ensures]
+    contracts. *)
+
+type jtype =
+  | Tint
+  | Tbool
+  | Tvoid
+  | Tclass of string (* includes Object *)
+  | Tarray of jtype
+
+let rec jtype_to_string = function
+  | Tint -> "int"
+  | Tbool -> "boolean"
+  | Tvoid -> "void"
+  | Tclass c -> c
+  | Tarray t -> jtype_to_string t ^ "[]"
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Null_lit
+  | Local of string (* local variable, parameter, or unqualified field *)
+  | This
+  | Field_access of expr * string (* e.f *)
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Neg of expr
+  | New of string (* new C() *)
+  | New_array of jtype * expr (* new T[n] *)
+  | Index of expr * expr (* a[i] *)
+  | Array_length of expr (* a.length *)
+  | Call of call
+  | Cast of string * expr
+
+and call = {
+  call_recv : expr option; (* None for same-class static calls *)
+  call_class : string option; (* Some C for C.m(...) static calls *)
+  call_name : string;
+  call_args : expr list;
+}
+
+type lhs =
+  | Lhs_local of string
+  | Lhs_field of expr * string
+  | Lhs_index of expr * expr (* a[i] = ... *)
+
+(** Statement-level specification annotations ([//: ...] in bodies). *)
+type spec_stmt =
+  | Ghost_assign of string * Logic.Form.t (* //: x := "F"; *)
+  | Assert_spec of string option * Logic.Form.t (* //: assert "F" *)
+  | Assume_spec of string option * Logic.Form.t
+  | Note_that of string option * Logic.Form.t (* proved, then assumed *)
+  | Loop_invariant of Logic.Form.t (* //: inv "F" (attaches to next loop) *)
+
+type stmt =
+  | Var_decl of jtype * string * expr option
+  | Assign of lhs * expr
+  | Expr_stmt of expr (* calls for effect *)
+  | If of expr * stmt list * stmt list
+  | While of Logic.Form.t option * expr * stmt list (* invariant, cond, body *)
+  | Return of expr option
+  | Block of stmt list
+  | Spec of spec_stmt
+
+type contract = {
+  requires : Logic.Form.t option;
+  modifies : string list; (* names, possibly qualified: "List.content" *)
+  ensures : Logic.Form.t option;
+}
+
+let empty_contract = { requires = None; modifies = []; ensures = None }
+
+type method_decl = {
+  m_name : string;
+  m_public : bool;
+  m_static : bool;
+  m_ret : jtype;
+  m_params : (jtype * string) list;
+  m_contract : contract;
+  m_body : stmt list option; (* None for interface-only declarations *)
+  m_is_constructor : bool;
+}
+
+type field_decl = {
+  f_name : string;
+  f_type : jtype;
+  f_public : bool;
+  f_static : bool;
+  f_claimedby : string option; (* /*: claimedby List */ *)
+}
+
+type specvar_decl = {
+  sv_name : string;
+  sv_type : Logic.Ftype.t;
+  sv_public : bool;
+  sv_static : bool;
+  sv_ghost : bool;
+  sv_def : Logic.Form.t option; (* vardefs "name == F" *)
+}
+
+type class_decl = {
+  c_name : string;
+  c_fields : field_decl list;
+  c_specvars : specvar_decl list;
+  c_invariants : Logic.Form.t list;
+  c_methods : method_decl list;
+}
+
+type program = class_decl list
+
+(* ------------------------------------------------------------------ *)
+(* Lookups                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_class (p : program) (name : string) : class_decl option =
+  List.find_opt (fun c -> c.c_name = name) p
+
+let find_method (c : class_decl) (name : string) : method_decl option =
+  List.find_opt (fun m -> m.m_name = name) c.c_methods
+
+let find_field (c : class_decl) (name : string) : field_decl option =
+  List.find_opt (fun f -> f.f_name = name) c.c_fields
+
+let find_specvar (c : class_decl) (name : string) : specvar_decl option =
+  List.find_opt (fun v -> v.sv_name = name) c.c_specvars
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (for error messages and tests)                      *)
+(* ------------------------------------------------------------------ *)
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec expr_to_string = function
+  | Int_lit n -> string_of_int n
+  | Bool_lit b -> string_of_bool b
+  | Null_lit -> "null"
+  | Local x -> x
+  | This -> "this"
+  | Field_access (e, f) -> expr_to_string e ^ "." ^ f
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+  | Not e -> "!" ^ expr_to_string e
+  | Neg e -> "-" ^ expr_to_string e
+  | New c -> "new " ^ c ^ "()"
+  | New_array (t, n) ->
+    Printf.sprintf "new %s[%s]" (jtype_to_string t) (expr_to_string n)
+  | Index (a, i) ->
+    Printf.sprintf "%s[%s]" (expr_to_string a) (expr_to_string i)
+  | Array_length a -> expr_to_string a ^ ".length"
+  | Call { call_recv; call_class; call_name; call_args } ->
+    let prefix =
+      match call_recv, call_class with
+      | Some r, _ -> expr_to_string r ^ "."
+      | None, Some c -> c ^ "."
+      | None, None -> ""
+    in
+    prefix ^ call_name ^ "("
+    ^ String.concat ", " (List.map expr_to_string call_args)
+    ^ ")"
+  | Cast (c, e) -> Printf.sprintf "((%s) %s)" c (expr_to_string e)

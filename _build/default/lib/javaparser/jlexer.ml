@@ -1,0 +1,190 @@
+(** Lexer for the Java subset.
+
+    Specification annotations are comments whose first character after the
+    comment opener is [':'] — [/*: ... */] and [//: ...] — exactly as in
+    the paper.  Their text is returned as {!ANNOTATION} tokens for
+    {!Annot} to parse; ordinary comments are skipped. *)
+
+type token =
+  | IDENT of string
+  | INT_LIT of int
+  | STRING_LIT of string
+  | ANNOTATION of string (* contents of a /*: ... */ or //: ... comment *)
+  | KW of string (* class public private static void int boolean if else
+                    while return new null true false this *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | DOT
+  | ASSIGN (* = *)
+  | EQ (* == *)
+  | NEQ (* != *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+exception Lex_error of string * int (* message, line *)
+
+let keywords =
+  [ "class"; "public"; "private"; "static"; "void"; "int"; "boolean"; "if";
+    "else"; "while"; "return"; "new"; "null"; "true"; "false"; "this" ]
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT_LIT n -> string_of_int n
+  | STRING_LIT s -> "\"" ^ s ^ "\""
+  | ANNOTATION _ -> "<annotation>"
+  | KW s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | ASSIGN -> "="
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize source text; annotation comments become single tokens with
+    their line number. *)
+let tokenize (src : string) : (token * int) array =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      (* line comment; //: is an annotation *)
+      let annot = peek 2 = Some ':' in
+      let start = !i + if annot then 3 else 2 in
+      let j = ref start in
+      while !j < n && src.[!j] <> '\n' do incr j done;
+      if annot then emit (ANNOTATION (String.sub src start (!j - start)));
+      i := !j
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      (* block comment; /*: is an annotation *)
+      let annot = peek 2 = Some ':' in
+      let start = !i + if annot then 3 else 2 in
+      let j = ref start in
+      let continue = ref true in
+      while !continue do
+        if !j + 1 >= n then
+          raise (Lex_error ("unterminated comment", !line))
+        else if src.[!j] = '*' && src.[!j + 1] = '/' then continue := false
+        else begin
+          if src.[!j] = '\n' then incr line;
+          incr j
+        end
+      done;
+      if annot then emit (ANNOTATION (String.sub src start (!j - start)));
+      i := !j + 2
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do incr j done;
+      emit (INT_LIT (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let word = String.sub src !i (!j - !i) in
+      if List.mem word keywords then emit (KW word) else emit (IDENT word);
+      i := !j
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 16 in
+      while !j < n && src.[!j] <> '"' do
+        Buffer.add_char buf src.[!j];
+        if src.[!j] = '\n' then incr line;
+        incr j
+      done;
+      if !j >= n then raise (Lex_error ("unterminated string", !line));
+      emit (STRING_LIT (Buffer.contents buf));
+      i := !j + 1
+    end
+    else begin
+      let two b t =
+        if peek 1 = Some b then begin
+          emit t;
+          i := !i + 2;
+          true
+        end
+        else false
+      in
+      (match c with
+      | '(' -> emit LPAREN; incr i
+      | ')' -> emit RPAREN; incr i
+      | '{' -> emit LBRACE; incr i
+      | '}' -> emit RBRACE; incr i
+      | '[' -> emit LBRACKET; incr i
+      | ']' -> emit RBRACKET; incr i
+      | ',' -> emit COMMA; incr i
+      | ';' -> emit SEMI; incr i
+      | '.' -> emit DOT; incr i
+      | '+' -> emit PLUS; incr i
+      | '-' -> emit MINUS; incr i
+      | '*' -> emit STAR; incr i
+      | '/' -> emit SLASH; incr i
+      | '%' -> emit PERCENT; incr i
+      | '=' -> if not (two '=' EQ) then (emit ASSIGN; incr i)
+      | '!' -> if not (two '=' NEQ) then (emit BANG; incr i)
+      | '<' -> if not (two '=' LE) then (emit LT; incr i)
+      | '>' -> if not (two '=' GE) then (emit GT; incr i)
+      | '&' ->
+        if not (two '&' ANDAND) then
+          raise (Lex_error ("unexpected '&'", !line))
+      | '|' ->
+        if not (two '|' OROR) then raise (Lex_error ("unexpected '|'", !line))
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)))
+    end
+  done;
+  emit EOF;
+  Array.of_list (List.rev !toks)

@@ -1,0 +1,609 @@
+(** Recursive-descent parser for the Java subset with Jahob annotations.
+
+    Accepts exactly the shape of the paper's figures: classes with fields
+    (optionally [/*: claimedby C */]), specification-variable blocks,
+    invariants, and methods whose contract annotation sits between the
+    signature and the body. *)
+
+open Jlexer
+
+exception Error of string * int (* message, line *)
+
+let error line fmt =
+  Format.kasprintf (fun s -> raise (Error (s, line))) fmt
+
+type state = { toks : (token * int) array; mutable pos : int }
+
+let cur st = fst st.toks.(st.pos)
+let cur_line st = snd st.toks.(st.pos)
+let peek_at st k =
+  if st.pos + k < Array.length st.toks then fst st.toks.(st.pos + k) else EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st t =
+  if cur st = t then advance st
+  else
+    error (cur_line st) "expected '%s' but found '%s'" (token_to_string t)
+      (token_to_string (cur st))
+
+let expect_ident st =
+  match cur st with
+  | IDENT x ->
+    advance st;
+    x
+  | t -> error (cur_line st) "expected identifier, found '%s'" (token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_jtype st : Ast.jtype =
+  let base =
+    match cur st with
+    | KW "int" ->
+      advance st;
+      Ast.Tint
+    | KW "boolean" ->
+      advance st;
+      Ast.Tbool
+    | KW "void" ->
+      advance st;
+      Ast.Tvoid
+    | IDENT c ->
+      advance st;
+      Ast.Tclass c
+    | t ->
+      error (cur_line st) "expected a type, found '%s'" (token_to_string t)
+  in
+  let ty = ref base in
+  while cur st = LBRACKET && peek_at st 1 = RBRACKET do
+    advance st;
+    advance st;
+    ty := Ast.Tarray !ty
+  done;
+  !ty
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let rec loop acc =
+    if cur st = OROR then begin
+      advance st;
+      loop (Ast.Binop (Ast.Or, acc, parse_and st))
+    end
+    else acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    if cur st = ANDAND then begin
+      advance st;
+      loop (Ast.Binop (Ast.And, acc, parse_equality st))
+    end
+    else acc
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop acc =
+    match cur st with
+    | EQ ->
+      advance st;
+      loop (Ast.Binop (Ast.Eq, acc, parse_relational st))
+    | NEQ ->
+      advance st;
+      loop (Ast.Binop (Ast.Neq, acc, parse_relational st))
+    | _ -> acc
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop acc =
+    match cur st with
+    | LT -> advance st; loop (Ast.Binop (Ast.Lt, acc, parse_additive st))
+    | LE -> advance st; loop (Ast.Binop (Ast.Le, acc, parse_additive st))
+    | GT -> advance st; loop (Ast.Binop (Ast.Gt, acc, parse_additive st))
+    | GE -> advance st; loop (Ast.Binop (Ast.Ge, acc, parse_additive st))
+    | _ -> acc
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop acc =
+    match cur st with
+    | PLUS -> advance st; loop (Ast.Binop (Ast.Add, acc, parse_multiplicative st))
+    | MINUS -> advance st; loop (Ast.Binop (Ast.Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match cur st with
+    | STAR -> advance st; loop (Ast.Binop (Ast.Mul, acc, parse_unary st))
+    | SLASH -> advance st; loop (Ast.Binop (Ast.Div, acc, parse_unary st))
+    | PERCENT -> advance st; loop (Ast.Binop (Ast.Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match cur st with
+  | BANG ->
+    advance st;
+    Ast.Not (parse_unary st)
+  | MINUS ->
+    advance st;
+    Ast.Neg (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let atom = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    if cur st = LBRACKET then begin
+      advance st;
+      let idx = parse_expr st in
+      expect st RBRACKET;
+      atom := Ast.Index (!atom, idx)
+    end
+    else if cur st = DOT then begin
+      advance st;
+      let name = expect_ident st in
+      if cur st = LPAREN then begin
+        advance st;
+        let args = parse_args st in
+        atom :=
+          Ast.Call
+            { call_recv = Some !atom; call_class = None; call_name = name;
+              call_args = args }
+      end
+      else atom := Ast.Field_access (!atom, name)
+    end
+    else continue := false
+  done;
+  !atom
+
+and parse_args st : Ast.expr list =
+  if cur st = RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let first = parse_expr st in
+    let args = ref [ first ] in
+    while cur st = COMMA do
+      advance st;
+      args := parse_expr st :: !args
+    done;
+    expect st RPAREN;
+    List.rev !args
+  end
+
+and parse_primary st =
+  match cur st with
+  | INT_LIT n ->
+    advance st;
+    Ast.Int_lit n
+  | KW "true" ->
+    advance st;
+    Ast.Bool_lit true
+  | KW "false" ->
+    advance st;
+    Ast.Bool_lit false
+  | KW "null" ->
+    advance st;
+    Ast.Null_lit
+  | KW "this" ->
+    advance st;
+    Ast.This
+  | KW "new" -> (
+    advance st;
+    let elem_type () =
+      match cur st with
+      | KW "int" ->
+        advance st;
+        Ast.Tint
+      | KW "boolean" ->
+        advance st;
+        Ast.Tbool
+      | IDENT c ->
+        advance st;
+        Ast.Tclass c
+      | t -> error (cur_line st) "expected a type after new, found '%s'"
+               (token_to_string t)
+    in
+    let t = elem_type () in
+    match cur st, t with
+    | LBRACKET, _ ->
+      advance st;
+      let n = parse_expr st in
+      expect st RBRACKET;
+      Ast.New_array (t, n)
+    | LPAREN, Ast.Tclass c ->
+      advance st;
+      expect st RPAREN;
+      Ast.New c
+    | tk, _ ->
+      error (cur_line st) "expected '(' or '[' after new, found '%s'"
+        (token_to_string tk))
+  | LPAREN ->
+    advance st;
+    (* cast or parenthesized expression *)
+    (match cur st, peek_at st 1 with
+    | IDENT c, RPAREN when is_cast_continuation st ->
+      advance st;
+      advance st;
+      Ast.Cast (c, parse_unary st)
+    | _ ->
+      let e = parse_expr st in
+      expect st RPAREN;
+      e)
+  | IDENT x ->
+    advance st;
+    if cur st = LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      Ast.Call { call_recv = None; call_class = None; call_name = x; call_args = args }
+    end
+    else Ast.Local x
+  | t -> error (cur_line st) "unexpected token '%s' in expression" (token_to_string t)
+
+and is_cast_continuation st =
+  (* (C) e : after RPAREN there must be a primary-start token *)
+  match peek_at st 2 with
+  | IDENT _ | INT_LIT _ | KW ("null" | "this" | "new" | "true" | "false")
+  | LPAREN ->
+    true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st : Ast.stmt list =
+  (* may produce several statements (annotations expand) *)
+  match cur st with
+  | ANNOTATION text ->
+    advance st;
+    List.map (fun sp -> Ast.Spec sp) (Annot.parse_stmt_annot text)
+  | LBRACE ->
+    advance st;
+    let body = parse_stmts_until st RBRACE in
+    expect st RBRACE;
+    [ Ast.Block body ]
+  | KW "if" ->
+    advance st;
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    let then_branch = parse_stmt st in
+    let else_branch =
+      if cur st = KW "else" then begin
+        advance st;
+        parse_stmt st
+      end
+      else []
+    in
+    [ Ast.If (cond, then_branch, else_branch) ]
+  | KW "while" ->
+    advance st;
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    (* loop invariant may be the first annotation of the body *)
+    let body = parse_stmt st in
+    let inv, body =
+      match body with
+      | Ast.Block (Ast.Spec (Ast.Loop_invariant f) :: rest) :: tl ->
+        (Some f, Ast.Block rest :: tl)
+      | Ast.Spec (Ast.Loop_invariant f) :: rest -> (Some f, rest)
+      | _ -> (None, body)
+    in
+    [ Ast.While (inv, cond, body) ]
+  | KW "return" ->
+    advance st;
+    if cur st = SEMI then begin
+      advance st;
+      [ Ast.Return None ]
+    end
+    else begin
+      let e = parse_expr st in
+      expect st SEMI;
+      [ Ast.Return (Some e) ]
+    end
+  | KW ("int" | "boolean") ->
+    let ty = parse_jtype st in
+    let name = expect_ident st in
+    let init =
+      if cur st = ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st SEMI;
+    [ Ast.Var_decl (ty, name, init) ]
+  | IDENT _
+    when peek_at st 1 = LBRACKET && peek_at st 2 = RBRACKET ->
+    let ty = parse_jtype st in
+    let name = expect_ident st in
+    let init =
+      if cur st = ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st SEMI;
+    [ Ast.Var_decl (ty, name, init) ]
+  | IDENT _ when (match peek_at st 1 with IDENT _ -> true | _ -> false) ->
+    (* local declaration: C x [= e]; *)
+    let ty = parse_jtype st in
+    let name = expect_ident st in
+    let init =
+      if cur st = ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st SEMI;
+    [ Ast.Var_decl (ty, name, init) ]
+  | _ ->
+    (* assignment or expression statement *)
+    let e = parse_expr st in
+    if cur st = ASSIGN then begin
+      advance st;
+      let rhs = parse_expr st in
+      expect st SEMI;
+      let lhs =
+        match e with
+        | Ast.Local x -> Ast.Lhs_local x
+        | Ast.Field_access (obj, f) -> Ast.Lhs_field (obj, f)
+        | Ast.Index (a, i) -> Ast.Lhs_index (a, i)
+        | _ -> error (cur_line st) "invalid assignment target"
+      in
+      [ Ast.Assign (lhs, rhs) ]
+    end
+    else begin
+      expect st SEMI;
+      [ Ast.Expr_stmt e ]
+    end
+
+and parse_stmts_until st closer : Ast.stmt list =
+  let stmts = ref [] in
+  while cur st <> closer && cur st <> EOF do
+    stmts := !stmts @ parse_stmt st
+  done;
+  !stmts
+
+(* ------------------------------------------------------------------ *)
+(* Members                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type member_acc = {
+  mutable fields : Ast.field_decl list;
+  mutable specvars : Ast.specvar_decl list;
+  mutable vardefs : (string * Logic.Form.t) list;
+  mutable invariants : Logic.Form.t list;
+  mutable methods : Ast.method_decl list;
+}
+
+let register_class_annots acc (annots : Annot.class_annot list) =
+  List.iter
+    (fun a ->
+      match a with
+      | Annot.Specvar sv -> acc.specvars <- acc.specvars @ [ sv ]
+      | Annot.Vardefs (name, def) -> acc.vardefs <- acc.vardefs @ [ (name, def) ]
+      | Annot.Invariant f -> acc.invariants <- acc.invariants @ [ f ]
+      | Annot.Claimedby _ -> () (* only meaningful inline on a field *))
+    annots
+
+let rec parse_member st (class_name : string) (acc : member_acc) : unit =
+  match cur st with
+  | ANNOTATION text ->
+    advance st;
+    (* could be a claimedby for the following field, or class annotations *)
+    let annots = Annot.parse_class_annot text in
+    let claimed =
+      List.find_map
+        (function Annot.Claimedby c -> Some c | _ -> None)
+        annots
+    in
+    (match claimed with
+    | Some _ ->
+      (* malformed position: claimedby belongs after modifiers; tolerate by
+         re-parsing the member with the pending claim *)
+      parse_member_with_claim st class_name acc claimed
+    | None -> register_class_annots acc annots)
+  | _ -> parse_member_with_claim st class_name acc None
+
+and parse_member_with_claim st class_name acc claimed =
+  (* modifiers *)
+  let public = ref false and static = ref false in
+  let claimed = ref claimed in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | KW "public" ->
+      advance st;
+      public := true
+    | KW "private" -> advance st
+    | KW "static" ->
+      advance st;
+      static := true
+    | ANNOTATION text ->
+      advance st;
+      let annots = Annot.parse_class_annot text in
+      (match
+         List.find_map
+           (function Annot.Claimedby c -> Some c | _ -> None)
+           annots
+       with
+      | Some c -> claimed := Some c
+      | None -> register_class_annots acc annots)
+    | _ -> continue := false
+  done;
+  (* constructor? *)
+  match cur st with
+  | IDENT name when name = class_name && peek_at st 1 = LPAREN ->
+    advance st;
+    advance st;
+    let params = parse_params st in
+    let contract = parse_method_contract st in
+    let body = parse_method_body st in
+    acc.methods <-
+      acc.methods
+      @ [ { Ast.m_name = name; m_public = !public; m_static = false;
+            m_ret = Ast.Tvoid; m_params = params; m_contract = contract;
+            m_body = body; m_is_constructor = true } ]
+  | _ ->
+    let ty = parse_jtype st in
+    let name = expect_ident st in
+    if cur st = LPAREN then begin
+      advance st;
+      let params = parse_params st in
+      let contract = parse_method_contract st in
+      let body = parse_method_body st in
+      acc.methods <-
+        acc.methods
+        @ [ { Ast.m_name = name; m_public = !public; m_static = !static;
+              m_ret = ty; m_params = params; m_contract = contract;
+              m_body = body; m_is_constructor = false } ]
+    end
+    else begin
+      (* field declaration, possibly with several declarators: T a, b; *)
+      let names = ref [ name ] in
+      while cur st = COMMA do
+        advance st;
+        names := expect_ident st :: !names
+      done;
+      expect st SEMI;
+      List.iter
+        (fun n ->
+          acc.fields <-
+            acc.fields
+            @ [ { Ast.f_name = n; f_type = ty; f_public = !public;
+                  f_static = !static; f_claimedby = !claimed } ])
+        (List.rev !names)
+    end
+
+and parse_params st : (Ast.jtype * string) list =
+  if cur st = RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let param () =
+      let ty = parse_jtype st in
+      let name = expect_ident st in
+      (ty, name)
+    in
+    let first = param () in
+    let params = ref [ first ] in
+    while cur st = COMMA do
+      advance st;
+      params := param () :: !params
+    done;
+    expect st RPAREN;
+    List.rev !params
+  end
+
+and parse_method_contract st : Ast.contract =
+  (* zero or more annotation comments between signature and body *)
+  let merge (a : Ast.contract) (b : Ast.contract) : Ast.contract =
+    {
+      requires = (match b.requires with Some _ -> b.requires | None -> a.requires);
+      modifies = a.modifies @ b.modifies;
+      ensures = (match b.ensures with Some _ -> b.ensures | None -> a.ensures);
+    }
+  in
+  let contract = ref Ast.empty_contract in
+  while (match cur st with ANNOTATION _ -> true | _ -> false) do
+    match cur st with
+    | ANNOTATION text ->
+      advance st;
+      contract := merge !contract (Annot.parse_contract text)
+    | _ -> ()
+  done;
+  !contract
+
+and parse_method_body st : Ast.stmt list option =
+  match cur st with
+  | LBRACE ->
+    advance st;
+    let body = parse_stmts_until st RBRACE in
+    expect st RBRACE;
+    Some body
+  | SEMI ->
+    advance st;
+    None
+  | t ->
+    error (cur_line st) "expected method body or ';', found '%s'"
+      (token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Classes and programs                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_class st : Ast.class_decl =
+  expect st (KW "class");
+  let name = expect_ident st in
+  expect st LBRACE;
+  let acc =
+    { fields = []; specvars = []; vardefs = []; invariants = []; methods = [] }
+  in
+  while cur st <> RBRACE && cur st <> EOF do
+    parse_member st name acc
+  done;
+  expect st RBRACE;
+  (* attach vardefs to their specvars *)
+  let specvars =
+    List.map
+      (fun sv ->
+        match List.assoc_opt sv.Ast.sv_name acc.vardefs with
+        | Some def -> { sv with Ast.sv_def = Some def }
+        | None -> sv)
+      acc.specvars
+  in
+  let orphans =
+    List.filter
+      (fun (n, _) ->
+        not (List.exists (fun sv -> sv.Ast.sv_name = n) acc.specvars))
+      acc.vardefs
+  in
+  (match orphans with
+  | (n, _) :: _ -> raise (Error ("vardefs for undeclared specvar " ^ n, 0))
+  | [] -> ());
+  {
+    Ast.c_name = name;
+    c_fields = acc.fields;
+    c_specvars = specvars;
+    c_invariants = acc.invariants;
+    c_methods = acc.methods;
+  }
+
+(** Parse a compilation unit (one or more classes). *)
+let parse_program (src : string) : Ast.program =
+  let st = { toks = Jlexer.tokenize src; pos = 0 } in
+  let classes = ref [] in
+  while cur st <> EOF do
+    match cur st with
+    | ANNOTATION _ -> advance st (* stray file-level annotation: ignore *)
+    | _ -> classes := parse_class st :: !classes
+  done;
+  List.rev !classes
+
+let parse_program_file (path : string) : Ast.program =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_program src

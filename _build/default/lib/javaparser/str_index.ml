@@ -1,0 +1,11 @@
+(** Tiny substring search helper (no [Str] library dependency). *)
+
+(** Index of the first occurrence of [pat] in [s]; raises [Not_found]. *)
+let find (s : string) (pat : string) : int =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then raise Not_found
+    else if String.sub s i m = pat then i
+    else go (i + 1)
+  in
+  go 0

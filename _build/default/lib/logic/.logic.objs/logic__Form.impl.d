@@ -1,0 +1,1 @@
+lib/logic/form.ml: Ftype List Map Printf Set String

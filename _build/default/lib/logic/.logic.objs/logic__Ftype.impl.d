@@ -1,0 +1,1 @@
+lib/logic/ftype.ml: Format Int List Map

@@ -1,0 +1,1 @@
+lib/logic/instantiate.ml: Form Ftype List Sequent Simplify Typecheck

@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Array Form Format Ftype List String

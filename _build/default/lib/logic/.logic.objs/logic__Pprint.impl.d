@@ -1,0 +1,1 @@
+lib/logic/pprint.ml: Form Format List String

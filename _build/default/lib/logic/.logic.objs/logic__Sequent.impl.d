@@ -1,0 +1,1 @@
+lib/logic/sequent.ml: Form Format List Pprint

@@ -1,0 +1,1 @@
+lib/logic/sequent.mli: Form Format

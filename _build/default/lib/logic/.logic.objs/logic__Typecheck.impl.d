@@ -1,0 +1,1 @@
+lib/logic/typecheck.ml: Form Format Ftype Hashtbl List Map Pprint String

@@ -1,0 +1,96 @@
+(** Simple types for the Jahob specification logic.
+
+    The specification language is a subset of Isabelle/HOL, so types are
+    simple types: base sorts ([bool], [int], [obj]), sets, function spaces
+    and tuples.  Type variables support Hindley-Milner style inference in
+    {!Typecheck}. *)
+
+type t =
+  | Bool
+  | Int
+  | Obj                       (** references, including [null] *)
+  | Set of t                  (** [t set] *)
+  | Arrow of t * t            (** [t1 => t2] *)
+  | Tuple of t list           (** [t1 * ... * tn], n >= 2 *)
+  | Tvar of int               (** unification variable *)
+
+let objset = Set Obj
+
+(** [arrows [t1;...;tn] r] builds [t1 => ... => tn => r]. *)
+let arrows args result = List.fold_right (fun a r -> Arrow (a, r)) args result
+
+let rec equal a b =
+  match a, b with
+  | Bool, Bool | Int, Int | Obj, Obj -> true
+  | Set x, Set y -> equal x y
+  | Arrow (a1, r1), Arrow (a2, r2) -> equal a1 a2 && equal r1 r2
+  | Tuple xs, Tuple ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Tvar i, Tvar j -> i = j
+  | (Bool | Int | Obj | Set _ | Arrow _ | Tuple _ | Tvar _), _ -> false
+
+let rec pp ppf t =
+  match t with
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Int -> Format.pp_print_string ppf "int"
+  | Obj -> Format.pp_print_string ppf "obj"
+  | Set e -> Format.fprintf ppf "%a set" pp_atom e
+  | Arrow (a, r) -> Format.fprintf ppf "%a => %a" pp_atom a pp r
+  | Tuple ts ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " * ") pp_atom)
+      ts
+  | Tvar i -> Format.fprintf ppf "'t%d" i
+
+and pp_atom ppf t =
+  match t with
+  | Bool | Int | Obj | Tvar _ | Set _ -> pp ppf t
+  | Arrow _ | Tuple _ -> Format.fprintf ppf "(%a)" pp t
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** Occurs check: does unification variable [i] occur in [t]? *)
+let rec occurs i t =
+  match t with
+  | Bool | Int | Obj -> false
+  | Set e -> occurs i e
+  | Arrow (a, r) -> occurs i a || occurs i r
+  | Tuple ts -> List.exists (occurs i) ts
+  | Tvar j -> i = j
+
+(** Substitutions on type variables, represented as an int map. *)
+module Subst = struct
+  module M = Map.Make (Int)
+
+  type nonrec subst = t M.t
+
+  let empty : subst = M.empty
+
+  let rec apply (s : subst) t =
+    match t with
+    | Bool | Int | Obj -> t
+    | Set e -> Set (apply s e)
+    | Arrow (a, r) -> Arrow (apply s a, apply s r)
+    | Tuple ts -> Tuple (List.map (apply s) ts)
+    | Tvar i -> ( match M.find_opt i s with Some u -> apply s u | None -> t)
+
+  let bind i t (s : subst) : subst = M.add i t s
+end
+
+exception Unify_failure of t * t
+
+(** [unify s a b] extends substitution [s] so that [a] and [b] become equal,
+    or raises {!Unify_failure}. *)
+let rec unify (s : Subst.subst) a b : Subst.subst =
+  let a = Subst.apply s a and b = Subst.apply s b in
+  match a, b with
+  | Tvar i, Tvar j when i = j -> s
+  | Tvar i, t | t, Tvar i ->
+    if occurs i t then raise (Unify_failure (a, b)) else Subst.bind i t s
+  | Bool, Bool | Int, Int | Obj, Obj -> s
+  | Set x, Set y -> unify s x y
+  | Arrow (a1, r1), Arrow (a2, r2) -> unify (unify s a1 a2) r1 r2
+  | Tuple xs, Tuple ys when List.length xs = List.length ys ->
+    List.fold_left2 unify s xs ys
+  | (Bool | Int | Obj | Set _ | Arrow _ | Tuple _), _ ->
+    raise (Unify_failure (a, b))

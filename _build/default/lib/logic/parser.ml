@@ -1,0 +1,570 @@
+(** Parser for the Isabelle-subset specification syntax.
+
+    Accepts exactly the notation used in the paper's figures:
+    {v
+      o ~: content & o ~= null
+      content = old content Un {o}
+      a..List.content Int b..List.content = {}
+      {n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}
+      tree [List.first, Node.next]
+      ALL n1 n2. n1 : nodes & n2 : nodes & ... --> n1 = n2
+    v}
+
+    The parser is type-agnostic: [<=], [<] and [-] always parse as the
+    arithmetic constants; {!Typecheck.disambiguate} rewrites them to the
+    set-theoretic constants where the operands are sets. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokens                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string (* possibly dot-qualified: List.content *)
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | DOTDOT
+  | EQ
+  | NEQ
+  | COLON
+  | NOTELEM
+  | COLONCOLON
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | AMP
+  | BAR
+  | TILDE
+  | ARROW (* --> *)
+  | IFFTOK (* <-> *)
+  | PERCENT
+  | ASSIGN (* := used by annotation parsers that reuse this lexer *)
+  | KW of string (* ALL EX Un Int div mod if then else True False null Univ *)
+  | EOF
+
+let keywords =
+  [ "ALL"; "EX"; "Un"; "Int"; "div"; "mod"; "if"; "then"; "else"; "True";
+    "False"; "null"; "Univ" ]
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | EQ -> "="
+  | NEQ -> "~="
+  | COLON -> ":"
+  | NOTELEM -> "~:"
+  | COLONCOLON -> "::"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | AMP -> "&"
+  | BAR -> "|"
+  | TILDE -> "~"
+  | ARROW -> "-->"
+  | IFFTOK -> "<->"
+  | PERCENT -> "%"
+  | ASSIGN -> ":="
+  | KW s -> s
+  | EOF -> "<eof>"
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (s : string) : token array =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some s.[!i + k] else None in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit s.[!j] do incr j done;
+      emit (INT (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      (* scan a dot-qualified identifier; a '.' is part of the identifier
+         only when followed by an identifier start and not by another '.' *)
+      let j = ref !i in
+      let continue = ref true in
+      while !continue do
+        while !j < n && is_ident_char s.[!j] do incr j done;
+        if
+          !j + 1 < n
+          && s.[!j] = '.'
+          && is_ident_start s.[!j + 1]
+          && not (!j + 1 < n && s.[!j + 1] = '.')
+        then incr j
+        else continue := false
+      done;
+      let word = String.sub s !i (!j - !i) in
+      if List.mem word keywords then emit (KW word) else emit (IDENT word);
+      i := !j
+    end
+    else begin
+      let two a b t =
+        if peek 1 = Some b then begin
+          emit t;
+          i := !i + 2;
+          true
+        end
+        else begin
+          ignore a;
+          false
+        end
+      in
+      (match c with
+      | '(' -> emit LPAREN; incr i
+      | ')' -> emit RPAREN; incr i
+      | '{' -> emit LBRACE; incr i
+      | '}' -> emit RBRACE; incr i
+      | '[' -> emit LBRACKET; incr i
+      | ']' -> emit RBRACKET; incr i
+      | ',' -> emit COMMA; incr i
+      | '.' -> if not (two '.' '.' DOTDOT) then (emit DOT; incr i)
+      | '=' -> emit EQ; incr i
+      | '+' -> emit PLUS; incr i
+      | '*' -> emit STAR; incr i
+      | '&' -> emit AMP; incr i
+      | '|' -> emit BAR; incr i
+      | '%' -> emit PERCENT; incr i
+      | '~' ->
+        if not (two '~' '=' NEQ) && not (two '~' ':' NOTELEM) then (
+          emit TILDE;
+          incr i)
+      | ':' ->
+        if not (two ':' ':' COLONCOLON) && not (two ':' '=' ASSIGN) then (
+          emit COLON;
+          incr i)
+      | '<' ->
+        if peek 1 = Some '-' && peek 2 = Some '>' then begin
+          emit IFFTOK;
+          i := !i + 3
+        end
+        else if not (two '<' '=' LE) then (emit LT; incr i)
+      | '>' -> if not (two '>' '=' GE) then (emit GT; incr i)
+      | '-' ->
+        if peek 1 = Some '-' && peek 2 = Some '>' then begin
+          emit ARROW;
+          i := !i + 3
+        end
+        else (emit MINUS; incr i)
+      | _ -> error "lexical error at character %c (offset %d)" c !i)
+    end
+  done;
+  emit EOF;
+  Array.of_list (List.rev !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = { toks : token array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+let peek_at st k =
+  if st.pos + k < Array.length st.toks then st.toks.(st.pos + k) else EOF
+let advance st = st.pos <- st.pos + 1
+
+let expect st t =
+  if cur st = t then advance st
+  else
+    error "expected '%s' but found '%s'" (token_to_string t)
+      (token_to_string (cur st))
+
+let tvar_counter = ref 0
+
+let fresh_tvar () =
+  incr tvar_counter;
+  Ftype.Tvar !tvar_counter
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* objset | bool | int | obj | <base> set | t1 => t2 *)
+let rec parse_type st : Ftype.t =
+  let base = parse_type_atom st in
+  match cur st with
+  | EQ when peek_at st 1 = GT ->
+    (* '=>' arrives as EQ GT *)
+    advance st;
+    advance st;
+    Ftype.Arrow (base, parse_type st)
+  | _ -> base
+
+and parse_type_atom st : Ftype.t =
+  let postfix_set t =
+    let t = ref t in
+    let continue = ref true in
+    while !continue do
+      match cur st with
+      | IDENT "set" ->
+        advance st;
+        t := Ftype.Set !t
+      | _ -> continue := false
+    done;
+    !t
+  in
+  match cur st with
+  | IDENT "bool" | KW "True" ->
+    advance st;
+    postfix_set Ftype.Bool
+  | IDENT "int" ->
+    advance st;
+    postfix_set Ftype.Int
+  | IDENT "obj" | IDENT "object" ->
+    advance st;
+    postfix_set Ftype.Obj
+  | IDENT "objset" ->
+    advance st;
+    postfix_set Ftype.objset
+  | IDENT _ ->
+    (* unknown named sorts (class names) are object references *)
+    advance st;
+    postfix_set Ftype.Obj
+  | LPAREN ->
+    advance st;
+    let t = parse_type st in
+    expect st RPAREN;
+    postfix_set t
+  | t -> error "expected a type but found '%s'" (token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Binding powers; must agree with Pprint. *)
+let prec_impl = 10
+let prec_or = 20
+let prec_and = 30
+let prec_cmp = 50
+let prec_add = 60
+let prec_mul = 70
+
+let infix_info = function
+  | ARROW -> Some (prec_impl, `Right, fun a b -> Form.App (Const Impl, [ a; b ]))
+  | IFFTOK -> Some (prec_impl, `Right, fun a b -> Form.App (Const Iff, [ a; b ]))
+  | BAR -> Some (prec_or, `Left, fun a b -> Form.mk_or [ a; b ])
+  | AMP -> Some (prec_and, `Left, fun a b -> Form.mk_and [ a; b ])
+  | EQ -> Some (prec_cmp, `None, fun a b -> Form.App (Const Eq, [ a; b ]))
+  | NEQ -> Some (prec_cmp, `None, fun a b -> Form.mk_neq a b)
+  | COLON -> Some (prec_cmp, `None, fun a b -> Form.mk_elem a b)
+  | NOTELEM -> Some (prec_cmp, `None, fun a b -> Form.mk_notelem a b)
+  | LT -> Some (prec_cmp, `None, fun a b -> Form.mk_lt a b)
+  | LE -> Some (prec_cmp, `None, fun a b -> Form.mk_le a b)
+  | GT -> Some (prec_cmp, `None, fun a b -> Form.mk_gt a b)
+  | GE -> Some (prec_cmp, `None, fun a b -> Form.mk_ge a b)
+  | PLUS -> Some (prec_add, `Left, fun a b -> Form.mk_plus a b)
+  | MINUS -> Some (prec_add, `Left, fun a b -> Form.mk_minus a b)
+  | KW "Un" -> Some (prec_add, `Left, fun a b -> Form.App (Const Union, [ a; b ]))
+  | STAR -> Some (prec_mul, `Left, fun a b -> Form.mk_mult a b)
+  | KW "div" -> Some (prec_mul, `Left, fun a b -> Form.App (Const Div, [ a; b ]))
+  | KW "mod" -> Some (prec_mul, `Left, fun a b -> Form.App (Const Mod, [ a; b ]))
+  | KW "Int" -> Some (prec_mul, `Left, fun a b -> Form.mk_inter a b)
+  | IDENT _ | INT _ | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | DOT | DOTDOT | COLONCOLON | TILDE | PERCENT | ASSIGN | KW _ | EOF ->
+    None
+
+(* Identifiers in head position that denote built-in operators. *)
+let builtin_head = function
+  | "card" -> Some (Form.Const Card, 1)
+  | "old" -> Some (Form.Const Old, 1)
+  | "fieldRead" -> Some (Form.Const FieldRead, 2)
+  | "fieldWrite" -> Some (Form.Const FieldWrite, 3)
+  | "arrayRead" -> Some (Form.Const ArrayRead, 3)
+  | "arrayWrite" -> Some (Form.Const ArrayWrite, 4)
+  | "rtrancl_pt" -> Some (Form.Const Rtrancl, 3)
+  | _ -> None
+
+let is_atom_start = function
+  | IDENT _ | INT _ | LPAREN | LBRACE | KW "True" | KW "False" | KW "null"
+  | KW "Univ" ->
+    true
+  | _ -> false
+
+let rec parse_formula st min_prec : Form.t =
+  let lhs = parse_prefix st in
+  climb st lhs min_prec
+
+and climb st lhs min_prec =
+  match infix_info (cur st) with
+  | Some (p, assoc, build) when p >= min_prec ->
+    advance st;
+    let next_min = match assoc with `Left -> p + 1 | `Right -> p | `None -> p + 1 in
+    let rhs = parse_formula st next_min in
+    climb st (build lhs rhs) min_prec
+  | _ -> lhs
+
+and parse_prefix st : Form.t =
+  match cur st with
+  | TILDE ->
+    advance st;
+    Form.mk_not (parse_prefix st)
+  | MINUS -> (
+    advance st;
+    match cur st with
+    | INT n ->
+      advance st;
+      Form.mk_int (-n)
+    | _ -> Form.mk_uminus (parse_prefix_app st))
+  | KW "ALL" ->
+    advance st;
+    let vars = parse_binder_vars st in
+    expect st DOT;
+    Form.Binder (Forall, vars, parse_formula st 0)
+  | KW "EX" ->
+    advance st;
+    let vars = parse_binder_vars st in
+    expect st DOT;
+    Form.Binder (Exists, vars, parse_formula st 0)
+  | PERCENT ->
+    advance st;
+    let vars = parse_binder_vars st in
+    expect st DOT;
+    Form.Binder (Lambda, vars, parse_formula st 0)
+  | KW "if" ->
+    advance st;
+    let c = parse_formula st 1 in
+    expect st (KW "then");
+    let a = parse_formula st 1 in
+    expect st (KW "else");
+    let b = parse_formula st 1 in
+    Form.mk_ite c a b
+  | IDENT _ | INT _ | LPAREN | LBRACE | KW _ | LBRACKET | RPAREN | RBRACE
+  | RBRACKET | COMMA | DOT | DOTDOT | EQ | NEQ | COLON | NOTELEM | COLONCOLON
+  | LT | LE | GT | GE | PLUS | STAR | AMP | BAR | ARROW | IFFTOK | ASSIGN | EOF
+    ->
+    parse_prefix_app st
+
+(* application: atom atom* — but only when the head is an identifier (so
+   'first n' inside rtrancl args works while '1 2' is rejected). *)
+and parse_prefix_app st : Form.t =
+  let head = parse_postfix st in
+  match Form.strip_types head with
+  | Var name -> begin
+    match builtin_head name with
+    | Some (c, arity) ->
+      if name = "old" || name = "card" then
+        (* unary prefix operators: take exactly one tight argument *)
+        Form.App (c, [ parse_postfix st ])
+      else begin
+        let args = ref [] in
+        for _ = 1 to arity do
+          args := parse_postfix st :: !args
+        done;
+        Form.App (c, List.rev !args)
+      end
+    | None ->
+      if name = "tree" && cur st = LBRACKET then begin
+        advance st;
+        let flds = parse_comma_list st RBRACKET in
+        Form.App (Const Tree, flds)
+      end
+      else collect_args st head
+  end
+  | Binder (Lambda, _, _) -> collect_args st head
+  | _ -> head
+
+(* general application by juxtaposition *)
+and collect_args st head =
+  let args = ref [] in
+  while is_atom_start (cur st) do
+    args := parse_postfix st :: !args
+  done;
+  Form.mk_app head (List.rev !args)
+
+(* postfix: atom (..field)* (::type)? *)
+and parse_postfix st : Form.t =
+  let atom = ref (parse_atom st) in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | DOTDOT ->
+      advance st;
+      let fld =
+        match cur st with
+        | IDENT f ->
+          advance st;
+          Form.Var f
+        | t -> error "expected field name after '..' but found '%s'"
+                 (token_to_string t)
+      in
+      atom := Form.mk_field_read fld !atom
+    | COLONCOLON ->
+      advance st;
+      let ty = parse_type st in
+      atom := Form.TypedForm (!atom, ty)
+    | _ -> continue := false
+  done;
+  !atom
+
+and parse_atom st : Form.t =
+  match cur st with
+  | IDENT x ->
+    advance st;
+    Form.Var x
+  | INT n ->
+    advance st;
+    Form.mk_int n
+  | KW "True" ->
+    advance st;
+    Form.mk_true
+  | KW "False" ->
+    advance st;
+    Form.mk_false
+  | KW "null" ->
+    advance st;
+    Form.mk_null
+  | KW "Univ" ->
+    advance st;
+    Form.mk_univ
+  | LPAREN ->
+    advance st;
+    let f = parse_formula st 0 in
+    expect st RPAREN;
+    f
+  | LBRACE ->
+    advance st;
+    if cur st = RBRACE then begin
+      advance st;
+      Form.mk_emptyset
+    end
+    else begin
+      (* comprehension {x. F} / {x::ty. F} or finite set {e1, ..., en} *)
+      match cur st, peek_at st 1 with
+      | IDENT x, DOT ->
+        advance st;
+        advance st;
+        let body = parse_formula st 0 in
+        expect st RBRACE;
+        Form.mk_comprehension [ (x, fresh_tvar ()) ] body
+      | IDENT x, COLONCOLON when is_comprehension_with_type st ->
+        advance st;
+        advance st;
+        let ty = parse_type st in
+        expect st DOT;
+        let body = parse_formula st 0 in
+        expect st RBRACE;
+        Form.mk_comprehension [ (x, ty) ] body
+      | _ ->
+        let elems = parse_comma_list st RBRACE in
+        Form.mk_finite_set elems
+    end
+  | t -> error "unexpected token '%s'" (token_to_string t)
+
+(* distinguish {x::ty. F} from a finite set whose first element is typed *)
+and is_comprehension_with_type st =
+  (* scan forward past the type to see whether a DOT follows before any
+     COMMA or RBRACE at depth 0 *)
+  let k = ref 2 and depth = ref 0 and result = ref false and stop = ref false in
+  while not !stop do
+    (match peek_at st !k with
+    | LPAREN -> incr depth
+    | RPAREN -> decr depth
+    | DOT when !depth = 0 ->
+      result := true;
+      stop := true
+    | COMMA when !depth = 0 -> stop := true
+    | RBRACE when !depth = 0 -> stop := true
+    | EOF -> stop := true
+    | _ -> ());
+    incr k
+  done;
+  !result
+
+and parse_comma_list st closer : Form.t list =
+  if cur st = closer then begin
+    advance st;
+    []
+  end
+  else begin
+    let first = parse_formula st 0 in
+    let items = ref [ first ] in
+    while cur st = COMMA do
+      advance st;
+      items := parse_formula st 0 :: !items
+    done;
+    expect st closer;
+    List.rev !items
+  end
+
+and parse_binder_vars st : (Form.ident * Ftype.t) list =
+  let vars = ref [] in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | IDENT x ->
+      advance st;
+      vars := (x, fresh_tvar ()) :: !vars
+    | LPAREN ->
+      (* (x::ty) *)
+      advance st;
+      (match cur st with
+      | IDENT x ->
+        advance st;
+        expect st COLONCOLON;
+        let ty = parse_type st in
+        expect st RPAREN;
+        vars := (x, ty) :: !vars
+      | t -> error "expected variable in binder but found '%s'"
+               (token_to_string t))
+    | _ -> continue := false
+  done;
+  if !vars = [] then error "binder with no variables";
+  List.rev !vars
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse a complete formula; raises {!Error} on malformed input. *)
+let parse (s : string) : Form.t =
+  let st = { toks = tokenize s; pos = 0 } in
+  let f = parse_formula st 0 in
+  expect st EOF;
+  f
+
+let parse_opt s = try Some (parse s) with Error _ -> None
+
+(** Parse a type expression such as [objset] or [obj => int]. *)
+let parse_ftype (s : string) : Ftype.t =
+  let st = { toks = tokenize s; pos = 0 } in
+  let t = parse_type st in
+  expect st EOF;
+  t

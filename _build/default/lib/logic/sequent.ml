@@ -1,0 +1,45 @@
+(** Proof obligations and the common decision-procedure interface.
+
+    Every reasoner in the portfolio — SMT, MONA, BAPA, the first-order
+    prover — consumes a {!type:t} and produces a {!type:verdict}.  Provers
+    must never guess: [Valid] claims a proof, [Invalid] claims a genuine
+    countermodel, anything else is [Unknown] (the dispatcher then tries the
+    next prover, mirroring the paper's multi-prover architecture). *)
+
+type t = {
+  name : string; (** where the obligation came from, e.g. "List.add: post" *)
+  hyps : Form.t list;
+  goal : Form.t;
+}
+
+type verdict =
+  | Valid
+  | Invalid of string (** description of a countermodel *)
+  | Unknown of string (** why the prover gave up *)
+
+type prover = {
+  prover_name : string;
+  prove : t -> verdict;
+}
+
+let make ?(name = "goal") hyps goal = { name; hyps; goal }
+
+(** The sequent as a single implication formula. *)
+let to_form (s : t) : Form.t = Form.mk_impl_chain s.hyps s.goal
+
+(** Conversely: split an implication chain into a sequent. *)
+let of_form ?(name = "goal") (f : Form.t) : t =
+  let hyps, goal = Form.hypotheses_and_goal f in
+  { name; hyps; goal }
+
+let pp ppf (s : t) =
+  Format.fprintf ppf "@[<v>%a@]"
+    (fun ppf () ->
+      List.iter (fun h -> Format.fprintf ppf "%a@," Pprint.pp h) s.hyps;
+      Format.fprintf ppf "|- %a" Pprint.pp s.goal)
+    ()
+
+let verdict_to_string = function
+  | Valid -> "valid"
+  | Invalid m -> "invalid (" ^ m ^ ")"
+  | Unknown m -> "unknown (" ^ m ^ ")"

@@ -1,0 +1,32 @@
+(** Proof obligations and the common decision-procedure interface.
+
+    Every reasoner in the portfolio — SMT, MONA, BAPA, the first-order
+    prover — consumes a {!type:t} and produces a {!type:verdict}. *)
+
+type t = {
+  name : string;  (** provenance, e.g. ["List.add: postcondition"] *)
+  hyps : Form.t list;
+  goal : Form.t;
+}
+
+type verdict =
+  | Valid  (** proved *)
+  | Invalid of string  (** refuted, with a countermodel description *)
+  | Unknown of string  (** gave up, with a reason *)
+
+type prover = {
+  prover_name : string;
+  prove : t -> verdict;
+}
+
+(** Build a sequent; [name] defaults to ["goal"]. *)
+val make : ?name:string -> Form.t list -> Form.t -> t
+
+(** The sequent as a single implication formula. *)
+val to_form : t -> Form.t
+
+(** Split an implication chain back into a sequent. *)
+val of_form : ?name:string -> Form.t -> t
+
+val pp : Format.formatter -> t -> unit
+val verdict_to_string : verdict -> string

@@ -1,0 +1,1 @@
+lib/mona/dfa.ml: Array Hashtbl Int List Queue Set

@@ -1,0 +1,1 @@
+lib/mona/ws1s.ml: Array Dfa Fun Hashtbl List Printf

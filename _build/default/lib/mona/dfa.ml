@@ -1,0 +1,280 @@
+(** Deterministic finite automata over bit-track alphabets.
+
+    The automata core of the MONA-style WS1S decision procedure.  A letter
+    is a bitvector of width [width]: bit [i] says whether track [i] (one
+    per WS1S variable) holds at the current position.  All DFAs are total.
+
+    Automata are kept {e trailing-zero insensitive}: a word [w] is
+    accepted iff [w . 0] is accepted, the invariant that makes finite
+    words encode assignments of finite sets.  Product and complement
+    preserve it; {!project} restores it with a zero-closure pass. *)
+
+type t = {
+  width : int; (* number of tracks *)
+  trans : int array array; (* state -> letter -> state; letter < 2^width *)
+  accept : bool array;
+  initial : int;
+}
+
+let num_states a = Array.length a.trans
+let num_letters a = 1 lsl a.width
+
+(* ------------------------------------------------------------------ *)
+(* Construction helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** [make ~width ~n ~initial ~accept f]: explicit automaton, [f s l] the
+    transition function. *)
+let make ~width ~n ~initial ~accept f =
+  let letters = 1 lsl width in
+  {
+    width;
+    trans = Array.init n (fun s -> Array.init letters (fun l -> f s l));
+    accept = Array.init n accept;
+    initial;
+  }
+
+(** Automaton accepting everything. *)
+let top width = make ~width ~n:1 ~initial:0 ~accept:(fun _ -> true) (fun _ _ -> 0)
+
+(** Automaton accepting nothing. *)
+let bottom width =
+  make ~width ~n:1 ~initial:0 ~accept:(fun _ -> false) (fun _ _ -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Run / acceptance                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let accepts (a : t) (word : int list) : bool =
+  let s = List.fold_left (fun s l -> a.trans.(s).(l)) a.initial word in
+  a.accept.(s)
+
+(* ------------------------------------------------------------------ *)
+(* Boolean combinations                                                *)
+(* ------------------------------------------------------------------ *)
+
+let complement (a : t) : t = { a with accept = Array.map not a.accept }
+
+(** Product construction over reachable pairs; [op] combines
+    acceptance. *)
+let product (op : bool -> bool -> bool) (a : t) (b : t) : t =
+  if a.width <> b.width then invalid_arg "Dfa.product: width mismatch";
+  let letters = num_letters a in
+  let index = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let trans_acc = ref [] in
+  let accept_acc = ref [] in
+  let rec explore (sa, sb) =
+    match Hashtbl.find_opt index (sa, sb) with
+    | Some i -> i
+    | None ->
+      let i = !next_id in
+      incr next_id;
+      Hashtbl.add index (sa, sb) i;
+      let row = Array.make letters (-1) in
+      trans_acc := (i, row) :: !trans_acc;
+      accept_acc := (i, op a.accept.(sa) b.accept.(sb)) :: !accept_acc;
+      for l = 0 to letters - 1 do
+        row.(l) <- explore (a.trans.(sa).(l), b.trans.(sb).(l))
+      done;
+      i
+  in
+  let initial = explore (a.initial, b.initial) in
+  let n = !next_id in
+  let trans = Array.make n [||] in
+  List.iter (fun (i, row) -> trans.(i) <- row) !trans_acc;
+  let accept = Array.make n false in
+  List.iter (fun (i, acc) -> accept.(i) <- acc) !accept_acc;
+  { width = a.width; trans; accept; initial }
+
+let inter = product ( && )
+let union = product ( || )
+
+(* ------------------------------------------------------------------ *)
+(* Track manipulation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Insert a fresh don't-care track at bit position [pos] (0 = least
+    significant).  Used to align automata over different variable sets. *)
+let insert_track (a : t) (pos : int) : t =
+  let letters' = 1 lsl (a.width + 1) in
+  let low_mask = (1 lsl pos) - 1 in
+  let old_letter l' =
+    (* drop bit pos *)
+    let low = l' land low_mask in
+    let high = (l' lsr (pos + 1)) lsl pos in
+    low lor high
+  in
+  {
+    width = a.width + 1;
+    trans =
+      Array.map
+        (fun row -> Array.init letters' (fun l' -> row.(old_letter l')))
+        a.trans;
+    accept = Array.copy a.accept;
+    initial = a.initial;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Projection (existential quantification of one track)                *)
+(* ------------------------------------------------------------------ *)
+
+(** Project away track [pos]: the result accepts [w] iff some assignment
+    of the removed track (possibly extending beyond [w]) is accepted.
+    Implemented as subset construction over the projected NFA followed by
+    the zero-closure acceptance fix. *)
+let project (a : t) (pos : int) : t =
+  let letters' = 1 lsl (a.width - 1) in
+  let low_mask = (1 lsl pos) - 1 in
+  let lift l' bit =
+    (* insert [bit] at position pos of letter l' *)
+    let low = l' land low_mask in
+    let high = (l' lsr pos) lsl (pos + 1) in
+    low lor high lor (bit lsl pos)
+  in
+  (* states from which an accepting state of [a] is reachable via letters
+     that are zero on the remaining tracks (anything on track pos) *)
+  let zero_accept = Array.make (num_states a) false in
+  let changed = ref true in
+  Array.iteri (fun i acc -> zero_accept.(i) <- acc) a.accept;
+  while !changed do
+    changed := false;
+    for s = 0 to num_states a - 1 do
+      if not zero_accept.(s) then begin
+        let l0 = lift 0 0 and l1 = lift 0 1 in
+        if zero_accept.(a.trans.(s).(l0)) || zero_accept.(a.trans.(s).(l1))
+        then begin
+          zero_accept.(s) <- true;
+          changed := true
+        end
+      end
+    done
+  done;
+  (* subset construction *)
+  let module Iset = Set.Make (Int) in
+  let index = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let trans_acc = ref [] in
+  let accept_acc = ref [] in
+  let rec explore set =
+    let key = Iset.elements set in
+    match Hashtbl.find_opt index key with
+    | Some i -> i
+    | None ->
+      let i = !next_id in
+      incr next_id;
+      Hashtbl.add index key i;
+      let row = Array.make letters' (-1) in
+      let acc = Iset.exists (fun s -> zero_accept.(s)) set in
+      accept_acc := (i, acc) :: !accept_acc;
+      trans_acc := (i, row) :: !trans_acc;
+      for l' = 0 to letters' - 1 do
+        let succ =
+          Iset.fold
+            (fun s acc ->
+              Iset.add a.trans.(s).(lift l' 0)
+                (Iset.add a.trans.(s).(lift l' 1) acc))
+            set Iset.empty
+        in
+        row.(l') <- explore succ
+      done;
+      i
+  in
+  let initial = explore (Iset.singleton a.initial) in
+  let n = !next_id in
+  let trans = Array.make n [||] in
+  List.iter (fun (i, row) -> trans.(i) <- row) !trans_acc;
+  let accept = Array.make n false in
+  List.iter (fun (i, acc) -> accept.(i) <- acc) !accept_acc;
+  { width = a.width - 1; trans; accept; initial }
+
+(* ------------------------------------------------------------------ *)
+(* Minimization (Moore partition refinement)                           *)
+(* ------------------------------------------------------------------ *)
+
+let minimize (a : t) : t =
+  let n = num_states a in
+  let letters = num_letters a in
+  (* start: partition by acceptance *)
+  let cls = Array.init n (fun s -> if a.accept.(s) then 1 else 0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* signature of a state: (class, successor classes) *)
+    let sigs = Hashtbl.create 64 in
+    let new_cls = Array.make n 0 in
+    let next_class = ref 0 in
+    for s = 0 to n - 1 do
+      let signature =
+        (cls.(s), Array.init letters (fun l -> cls.(a.trans.(s).(l))))
+      in
+      match Hashtbl.find_opt sigs signature with
+      | Some c -> new_cls.(s) <- c
+      | None ->
+        Hashtbl.add sigs signature !next_class;
+        new_cls.(s) <- !next_class;
+        incr next_class
+    done;
+    let count a =
+      1 + Array.fold_left max (-1) a
+    in
+    (* refinement only ever splits classes, so the partition is stable
+       exactly when the class count stops growing *)
+    if count new_cls <> count cls then changed := true;
+    Array.blit new_cls 0 cls 0 n
+  done;
+  let nclasses = 1 + Array.fold_left max 0 cls in
+  let repr = Array.make nclasses (-1) in
+  for s = n - 1 downto 0 do
+    repr.(cls.(s)) <- s
+  done;
+  {
+    width = a.width;
+    trans =
+      Array.init nclasses (fun c ->
+          Array.init letters (fun l -> cls.(a.trans.(repr.(c)).(l))));
+    accept = Array.init nclasses (fun c -> a.accept.(repr.(c)));
+    initial = cls.(a.initial);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Emptiness and witnesses                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Shortest accepted word, if any (BFS). *)
+let witness (a : t) : int list option =
+  let n = num_states a in
+  let letters = num_letters a in
+  let pred = Array.make n None in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(a.initial) <- true;
+  Queue.add a.initial queue;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    if a.accept.(s) then found := Some s
+    else
+      for l = 0 to letters - 1 do
+        let t = a.trans.(s).(l) in
+        if not seen.(t) then begin
+          seen.(t) <- true;
+          pred.(t) <- Some (s, l);
+          Queue.add t queue
+        end
+      done
+  done;
+  match !found with
+  | None -> None
+  | Some s ->
+    let rec build s acc =
+      match pred.(s) with
+      | None -> acc
+      | Some (p, l) -> build p (l :: acc)
+    in
+    Some (build s [])
+
+let is_empty (a : t) : bool = witness a = None
+
+(** Does [a] accept every word? *)
+let is_universal (a : t) : bool = is_empty (complement a)

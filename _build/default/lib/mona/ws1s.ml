@@ -1,0 +1,333 @@
+(** WS1S: weak monadic second-order logic of one successor.
+
+    The decision procedure behind our MONA substitute.  Second-order
+    variables denote finite sets of naturals; first-order variables denote
+    positions and are compiled as singleton sets (the standard M2L
+    encoding).  Every formula compiles to a {!Dfa.t} whose words encode
+    variable assignments track-wise; satisfiability and validity are DFA
+    emptiness questions. *)
+
+type var = string
+
+type pred =
+  | Sub of var * var (* X subseteq Y *)
+  | EqS of var * var (* X = Y *)
+  | EqUnion of var * var * var (* X = Y u Z *)
+  | EqInter of var * var * var (* X = Y n Z *)
+  | EqDiff of var * var * var (* X = Y \ Z *)
+  | IsEmpty of var
+  | In of var * var (* x : X, x first-order *)
+  | EqF of var * var (* x = y *)
+  | SuccF of var * var (* x = y + 1 *)
+  | LessF of var * var (* x < y *)
+  | LeqF of var * var (* x <= y *)
+  | ZeroF of var (* x = 0 *)
+  | BoolVar of var (* 0 : B, the boolean encoding *)
+
+type t =
+  | True
+  | False
+  | Pred of pred
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Impl of t * t
+  | Iff of t * t
+  | Ex1 of var * t (* first-order exists *)
+  | All1 of var * t
+  | Ex2 of var * t (* second-order exists *)
+  | All2 of var * t
+
+(* convenience *)
+let conj fs = And fs
+let disj fs = Or fs
+let neg f = Not f
+
+(* ------------------------------------------------------------------ *)
+(* Variables                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pred_vars = function
+  | Sub (a, b) | EqS (a, b) | In (a, b) | EqF (a, b) | SuccF (a, b)
+  | LessF (a, b) | LeqF (a, b) ->
+    [ a; b ]
+  | EqUnion (a, b, c) | EqInter (a, b, c) | EqDiff (a, b, c) -> [ a; b; c ]
+  | IsEmpty a | ZeroF a | BoolVar a -> [ a ]
+
+let rec vars_of = function
+  | True | False -> []
+  | Pred p -> pred_vars p
+  | Not f -> vars_of f
+  | And fs | Or fs -> List.concat_map vars_of fs
+  | Impl (a, b) | Iff (a, b) -> vars_of a @ vars_of b
+  | Ex1 (x, f) | All1 (x, f) | Ex2 (x, f) | All2 (x, f) -> x :: vars_of f
+
+(* Rename bound variables apart so each gets its own track. *)
+let alpha_rename (f : t) : t =
+  let counter = ref 0 in
+  let fresh x =
+    incr counter;
+    Printf.sprintf "%s#%d" x !counter
+  in
+  let subst_pred env p =
+    let s x = match List.assoc_opt x env with Some y -> y | None -> x in
+    match p with
+    | Sub (a, b) -> Sub (s a, s b)
+    | EqS (a, b) -> EqS (s a, s b)
+    | EqUnion (a, b, c) -> EqUnion (s a, s b, s c)
+    | EqInter (a, b, c) -> EqInter (s a, s b, s c)
+    | EqDiff (a, b, c) -> EqDiff (s a, s b, s c)
+    | IsEmpty a -> IsEmpty (s a)
+    | In (a, b) -> In (s a, s b)
+    | EqF (a, b) -> EqF (s a, s b)
+    | SuccF (a, b) -> SuccF (s a, s b)
+    | LessF (a, b) -> LessF (s a, s b)
+    | LeqF (a, b) -> LeqF (s a, s b)
+    | ZeroF a -> ZeroF (s a)
+    | BoolVar a -> BoolVar (s a)
+  in
+  let rec go env f =
+    match f with
+    | True | False -> f
+    | Pred p -> Pred (subst_pred env p)
+    | Not g -> Not (go env g)
+    | And gs -> And (List.map (go env) gs)
+    | Or gs -> Or (List.map (go env) gs)
+    | Impl (a, b) -> Impl (go env a, go env b)
+    | Iff (a, b) -> Iff (go env a, go env b)
+    | Ex1 (x, g) ->
+      let x' = fresh x in
+      Ex1 (x', go ((x, x') :: env) g)
+    | All1 (x, g) ->
+      let x' = fresh x in
+      All1 (x', go ((x, x') :: env) g)
+    | Ex2 (x, g) ->
+      let x' = fresh x in
+      Ex2 (x', go ((x, x') :: env) g)
+    | All2 (x, g) ->
+      let x' = fresh x in
+      All2 (x', go ((x, x') :: env) g)
+  in
+  go [] f
+
+(* ------------------------------------------------------------------ *)
+(* Atomic automata                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A letter is an int; [bit l i] is track i's bit. *)
+let bit l i = (l lsr i) land 1
+
+(* 2-state automaton: accept-loop while [ok letter], dead otherwise. *)
+let invariant_automaton ~width ok =
+  Dfa.make ~width ~n:2 ~initial:0
+    ~accept:(fun s -> s = 0)
+    (fun s l -> if s = 0 && ok l then 0 else 1)
+
+let compile_pred ~width ~pos (p : pred) : Dfa.t =
+  let tr v = pos v in
+  match p with
+  | Sub (x, y) ->
+    invariant_automaton ~width (fun l -> bit l (tr x) land lnot (bit l (tr y)) = 0)
+  | EqS (x, y) ->
+    invariant_automaton ~width (fun l -> bit l (tr x) = bit l (tr y))
+  | EqUnion (x, y, z) ->
+    invariant_automaton ~width (fun l ->
+        bit l (tr x) = bit l (tr y) lor bit l (tr z))
+  | EqInter (x, y, z) ->
+    invariant_automaton ~width (fun l ->
+        bit l (tr x) = bit l (tr y) land bit l (tr z))
+  | EqDiff (x, y, z) ->
+    invariant_automaton ~width (fun l ->
+        bit l (tr x) = bit l (tr y) land lnot (bit l (tr z)) land 1)
+  | IsEmpty x -> invariant_automaton ~width (fun l -> bit l (tr x) = 0)
+  | In (x, y) ->
+    (* with x a singleton, x subseteq y is membership *)
+    invariant_automaton ~width (fun l -> bit l (tr x) land lnot (bit l (tr y)) = 0)
+  | EqF (x, y) ->
+    invariant_automaton ~width (fun l -> bit l (tr x) = bit l (tr y))
+  | SuccF (x, y) ->
+    (* x = y + 1: y's position immediately precedes x's.
+       states: 0 = nothing seen, 1 = y seen (x expected now), 2 = done,
+       3 = dead *)
+    Dfa.make ~width ~n:4 ~initial:0
+      ~accept:(fun s -> s = 2)
+      (fun s l ->
+        let bx = bit l (tr x) and by = bit l (tr y) in
+        match s with
+        | 0 ->
+          if bx = 0 && by = 0 then 0
+          else if bx = 0 && by = 1 then 1
+          else 3
+        | 1 -> if bx = 1 && by = 0 then 2 else 3
+        | 2 -> if bx = 0 && by = 0 then 2 else 3
+        | _ -> 3)
+  | LessF (x, y) ->
+    (* x strictly before y *)
+    Dfa.make ~width ~n:4 ~initial:0
+      ~accept:(fun s -> s = 2)
+      (fun s l ->
+        let bx = bit l (tr x) and by = bit l (tr y) in
+        match s with
+        | 0 ->
+          if bx = 0 && by = 0 then 0
+          else if bx = 1 && by = 0 then 1
+          else 3
+        | 1 ->
+          if bx = 0 && by = 1 then 2 else if bx = 0 && by = 0 then 1 else 3
+        | 2 -> if bx = 0 && by = 0 then 2 else 3
+        | _ -> 3)
+  | LeqF (x, y) ->
+    (* x <= y: either same position or x before y *)
+    Dfa.make ~width ~n:4 ~initial:0
+      ~accept:(fun s -> s = 2)
+      (fun s l ->
+        let bx = bit l (tr x) and by = bit l (tr y) in
+        match s with
+        | 0 ->
+          if bx = 0 && by = 0 then 0
+          else if bx = 1 && by = 1 then 2
+          else if bx = 1 && by = 0 then 1
+          else 3
+        | 1 ->
+          if bx = 0 && by = 1 then 2 else if bx = 0 && by = 0 then 1 else 3
+        | 2 -> if bx = 0 && by = 0 then 2 else 3
+        | _ -> 3)
+  | ZeroF x ->
+    (* x's singleton is position 0 *)
+    Dfa.make ~width ~n:3 ~initial:0
+      ~accept:(fun s -> s = 1)
+      (fun s l ->
+        let bx = bit l (tr x) in
+        match s with
+        | 0 -> if bx = 1 then 1 else 2
+        | 1 -> if bx = 0 then 1 else 2
+        | _ -> 2)
+  | BoolVar x ->
+    (* 0 : X *)
+    Dfa.make ~width ~n:3 ~initial:0
+      ~accept:(fun s -> s = 1)
+      (fun s l ->
+        let bx = bit l (tr x) in
+        match s with
+        | 0 -> if bx = 1 then 1 else 2
+        | 1 -> 1
+        | _ -> 2)
+
+(* singleton(X): exactly one position in X *)
+let singleton_automaton ~width ~track =
+  Dfa.make ~width ~n:3 ~initial:0
+    ~accept:(fun s -> s = 1)
+    (fun s l ->
+      let b = bit l track in
+      match s with
+      | 0 -> if b = 1 then 1 else 0
+      | 1 -> if b = 1 then 2 else 1
+      | _ -> 2)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  dfa : Dfa.t;
+  tracks : var array; (* track i = tracks.(i) *)
+}
+
+let compile (f : t) : compiled =
+  let f = alpha_rename f in
+  let all_vars =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun v ->
+        if Hashtbl.mem seen v then false
+        else begin
+          Hashtbl.add seen v ();
+          true
+        end)
+      (vars_of f)
+  in
+  let tracks = Array.of_list all_vars in
+  let width = Array.length tracks in
+  let pos v =
+    let rec find i =
+      if i >= width then invalid_arg ("Ws1s.compile: unknown variable " ^ v)
+      else if tracks.(i) = v then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec go f : Dfa.t =
+    match f with
+    | True -> Dfa.top width
+    | False -> Dfa.bottom width
+    | Pred p -> compile_pred ~width ~pos p
+    | Not g -> Dfa.complement (go g)
+    | And gs ->
+      List.fold_left
+        (fun acc g -> Dfa.minimize (Dfa.inter acc (go g)))
+        (Dfa.top width) gs
+    | Or gs ->
+      List.fold_left
+        (fun acc g -> Dfa.minimize (Dfa.union acc (go g)))
+        (Dfa.bottom width) gs
+    | Impl (a, b) -> go (Or [ Not a; b ])
+    | Iff (a, b) -> go (And [ Impl (a, b); Impl (b, a) ])
+    | Ex2 (x, g) ->
+      let d = go g in
+      let p = pos x in
+      Dfa.minimize (Dfa.insert_track (Dfa.project d p) p)
+    | All2 (x, g) -> go (Not (Ex2 (x, Not g)))
+    | Ex1 (x, g) ->
+      let d =
+        Dfa.inter (singleton_automaton ~width ~track:(pos x)) (go g)
+      in
+      let p = pos x in
+      Dfa.minimize (Dfa.insert_track (Dfa.project d p) p)
+    | All1 (x, g) ->
+      (* forall x ranges over singletons only *)
+      go (Not (Ex1 (x, Not g)))
+  in
+  { dfa = Dfa.minimize (go f); tracks }
+
+(* free first-order variables must be constrained to singletons *)
+let with_fo_constraints (c : compiled) (fo : var list) : Dfa.t =
+  let width = Array.length c.tracks in
+  Array.to_list c.tracks
+  |> List.mapi (fun i v -> (i, v))
+  |> List.filter (fun (_, v) -> List.mem v fo)
+  |> List.fold_left
+       (fun acc (i, _) ->
+         Dfa.minimize (Dfa.inter acc (singleton_automaton ~width ~track:i)))
+       c.dfa
+
+(* ------------------------------------------------------------------ *)
+(* Decision interface                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type model = (var * int list) list (* var -> set of positions *)
+
+let decode_word (tracks : var array) (word : int list) : model =
+  Array.to_list tracks
+  |> List.mapi (fun i v ->
+         ( v,
+           List.mapi (fun p l -> if bit l i = 1 then Some p else None) word
+           |> List.filter_map Fun.id ))
+
+(** Satisfiability; [fo] lists the free first-order variables (constrained
+    to singletons).  Returns a satisfying assignment when satisfiable. *)
+let satisfiable ?(fo = []) (f : t) : model option =
+  let c = compile f in
+  let d = with_fo_constraints c fo in
+  match Dfa.witness d with
+  | None -> None
+  | Some w -> Some (decode_word c.tracks w)
+
+(** Validity over all assignments (free first-order variables range over
+    positions, second-order over finite sets). *)
+let valid ?(fo = []) (f : t) : bool =
+  let c = compile (Not f) in
+  let d = with_fo_constraints c fo in
+  Dfa.is_empty d
+
+(** A countermodel when not valid. *)
+let countermodel ?(fo = []) (f : t) : model option = satisfiable ~fo (Not f)

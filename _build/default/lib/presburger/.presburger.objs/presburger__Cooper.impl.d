@@ -1,0 +1,1 @@
+lib/presburger/cooper.ml: Linterm List Pform

@@ -1,0 +1,1 @@
+lib/presburger/linterm.ml: Format List Map Printf String

@@ -1,0 +1,1 @@
+lib/presburger/omega.ml: Hashtbl Linterm List Pform Printf Sys

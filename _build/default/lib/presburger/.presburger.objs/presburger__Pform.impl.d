@@ -1,0 +1,1 @@
+lib/presburger/pform.ml: Format Linterm List

@@ -1,0 +1,97 @@
+(** Linear terms over integer variables: [c1*x1 + ... + cn*xn + k].
+
+    The shared representation of {!Cooper} and {!Omega}.  Coefficients are
+    native integers; variables are names. *)
+
+module Smap = Map.Make (String)
+
+type t = { coeffs : int Smap.t; const : int }
+
+let const k = { coeffs = Smap.empty; const = k }
+let zero = const 0
+
+let var ?(coeff = 1) x =
+  if coeff = 0 then zero
+  else { coeffs = Smap.singleton x coeff; const = 0 }
+
+let of_list pairs k =
+  let coeffs =
+    List.fold_left
+      (fun m (x, c) ->
+        let c = c + (match Smap.find_opt x m with Some c0 -> c0 | None -> 0) in
+        if c = 0 then Smap.remove x m else Smap.add x c m)
+      Smap.empty pairs
+  in
+  { coeffs; const = k }
+
+let coeff x t = match Smap.find_opt x t.coeffs with Some c -> c | None -> 0
+let constant t = t.const
+let coeffs t = Smap.bindings t.coeffs
+let is_const t = Smap.is_empty t.coeffs
+
+let add a b =
+  let coeffs =
+    Smap.union
+      (fun _ c1 c2 -> if c1 + c2 = 0 then None else Some (c1 + c2))
+      a.coeffs b.coeffs
+  in
+  { coeffs; const = a.const + b.const }
+
+let scale k t =
+  if k = 0 then zero
+  else { coeffs = Smap.map (fun c -> k * c) t.coeffs; const = k * t.const }
+
+let neg t = scale (-1) t
+let sub a b = add a (neg b)
+
+(** Remove variable [x], i.e. the term restricted to the other variables. *)
+let drop x t = { t with coeffs = Smap.remove x t.coeffs }
+
+(** Substitute [x := u] in [t]. *)
+let subst x u t =
+  let cx = coeff x t in
+  if cx = 0 then t else add (drop x t) (scale cx u)
+
+let variables t = List.map fst (Smap.bindings t.coeffs)
+let mem x t = Smap.mem x t.coeffs
+
+let equal a b = a.const = b.const && Smap.equal ( = ) a.coeffs b.coeffs
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(** gcd of all variable coefficients (0 for constant terms). *)
+let coeff_gcd t = Smap.fold (fun _ c g -> gcd c g) t.coeffs 0
+
+(** Divide all coefficients and the constant by [g]; every coefficient must
+    be divisible (the constant too — use {!quotient_ceil} otherwise). *)
+let quotient_exact g t =
+  { coeffs = Smap.map (fun c -> c / g) t.coeffs; const = t.const / g }
+
+(** Divide coefficients by [g] exactly and round the constant up; sound for
+    normalizing [t <= 0] because [g*u + k <= 0  iff  u + ceil(k/g) <= 0]. *)
+let quotient_ceil g t =
+  let k = t.const in
+  let k' = if k >= 0 then (k + g - 1) / g else -((-k) / g) in
+  { coeffs = Smap.map (fun c -> c / g) t.coeffs; const = k' }
+
+(** Evaluate under an assignment (default 0). *)
+let eval (assignment : (string * int) list) t =
+  Smap.fold
+    (fun x c acc ->
+      let v = match List.assoc_opt x assignment with Some v -> v | None -> 0 in
+      acc + (c * v))
+    t.coeffs t.const
+
+let pp ppf t =
+  let parts =
+    List.map
+      (fun (x, c) ->
+        if c = 1 then x
+        else if c = -1 then "-" ^ x
+        else Printf.sprintf "%d%s" c x)
+      (Smap.bindings t.coeffs)
+  in
+  let parts = if t.const <> 0 || parts = [] then parts @ [ string_of_int t.const ] else parts in
+  Format.pp_print_string ppf (String.concat " + " parts)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/simplex/qnum.ml: Format Printf

@@ -1,0 +1,60 @@
+(** Exact rational arithmetic on native integers.
+
+    Numerators and denominators stay small in the simplex tableaux our
+    verification conditions produce; every operation normalizes by the gcd
+    to keep magnitudes down.  Overflow would require coefficients beyond
+    2^62, far outside anything the VC generator emits. *)
+
+type t = { num : int; den : int } (* den > 0, gcd (|num|) den = 1 *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then invalid_arg "Qnum.make: zero denominator";
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if b.num = 0 then invalid_arg "Qnum.div: division by zero";
+  make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+let compare a b = compare (a.num * b.den) (b.num * a.den)
+let equal a b = a.num = b.num && a.den = b.den
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let gt a b = compare a b > 0
+let geq a b = compare a b >= 0
+let sign a = compare a zero
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+let min a b = if leq a b then a else b
+let max a b = if geq a b then a else b
+
+(* floor/ceil as rationals *)
+let floor a =
+  if a.den = 1 then a
+  else if a.num >= 0 then of_int (a.num / a.den)
+  else of_int (-(((-a.num) + a.den - 1) / a.den))
+
+let ceil a = neg (floor (neg a))
+let num a = a.num
+let den a = a.den
+
+let to_string a =
+  if a.den = 1 then string_of_int a.num
+  else Printf.sprintf "%d/%d" a.num a.den
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+let to_float a = float_of_int a.num /. float_of_int a.den

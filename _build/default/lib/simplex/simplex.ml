@@ -1,0 +1,263 @@
+(** Exact-arithmetic simplex over the rationals, with branch-and-bound for
+    integer feasibility.
+
+    This is the linear-arithmetic half of the Nelson-Oppen style prover:
+    verification conditions about array indices, list lengths and
+    cardinalities reduce to conjunctions of linear constraints.  Phase-one
+    simplex (artificial variables, Bland's rule, hence terminating) decides
+    rational feasibility; branch-and-bound on fractional coordinates
+    decides integer feasibility of bounded instances. *)
+
+module Qnum = Qnum
+
+(* A linear constraint  sum coeffs <= / = rhs  over named variables. *)
+type op = Le | Eq
+
+type constr = { coeffs : (string * Qnum.t) list; op : op; rhs : Qnum.t }
+
+let le coeffs rhs = { coeffs; op = Le; rhs }
+let eq coeffs rhs = { coeffs; op = Eq; rhs }
+
+(* Convenience for integer coefficients. *)
+let le_i coeffs rhs =
+  le (List.map (fun (v, c) -> (v, Qnum.of_int c)) coeffs) (Qnum.of_int rhs)
+
+let eq_i coeffs rhs =
+  eq (List.map (fun (v, c) -> (v, Qnum.of_int c)) coeffs) (Qnum.of_int rhs)
+
+(* >= is encoded by negation *)
+let ge_i coeffs rhs = le_i (List.map (fun (v, c) -> (v, -c)) coeffs) (-rhs)
+
+type rational_result =
+  | Rsat of (string * Qnum.t) list
+  | Runsat
+
+type integer_result =
+  | Isat of (string * int) list
+  | Iunsat
+  | Iunknown (* branch-and-bound budget exhausted *)
+
+(* ------------------------------------------------------------------ *)
+(* Tableau construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Collect variables in deterministic order. *)
+let variables (cs : constr list) : string array =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (v, _) ->
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            order := v :: !order
+          end)
+        c.coeffs)
+    cs;
+  Array.of_list (List.rev !order)
+
+(* Phase-one simplex on the system
+
+     A y = b,  y >= 0,  minimize sum of artificials
+
+   where each original (sign-unrestricted) variable x is split as
+   x = xp - xn. Column layout: [xp_0 xn_0 ... xp_{n-1} xn_{n-1} |
+   slacks | artificials]. *)
+let solve_rational (cs : constr list) : rational_result =
+  let vars = variables cs in
+  let nv = Array.length vars in
+  let var_index = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.add var_index v i) vars;
+  let m = List.length cs in
+  let n_slack = List.length (List.filter (fun c -> c.op = Le) cs) in
+  let n = (2 * nv) + n_slack + m in
+  (* tableau rows: m constraint rows, each of width n+1 (last = rhs) *)
+  let t = Array.make_matrix m (n + 1) Qnum.zero in
+  let slack_pos = ref 0 in
+  List.iteri
+    (fun i c ->
+      List.iter
+        (fun (v, q) ->
+          let j = Hashtbl.find var_index v in
+          t.(i).((2 * j)) <- Qnum.add t.(i).(2 * j) q;
+          t.(i).((2 * j) + 1) <- Qnum.sub t.(i).((2 * j) + 1) q)
+        c.coeffs;
+      (match c.op with
+      | Le ->
+        t.(i).((2 * nv) + !slack_pos) <- Qnum.one;
+        incr slack_pos
+      | Eq -> ());
+      t.(i).(n) <- c.rhs)
+    cs;
+  (* make rhs nonnegative *)
+  for i = 0 to m - 1 do
+    if Qnum.sign t.(i).(n) < 0 then
+      for j = 0 to n do
+        t.(i).(j) <- Qnum.neg t.(i).(j)
+      done
+  done;
+  (* artificial variables form the initial basis *)
+  let basis = Array.make m 0 in
+  for i = 0 to m - 1 do
+    let art = (2 * nv) + n_slack + i in
+    t.(i).(art) <- Qnum.one;
+    basis.(i) <- art
+  done;
+  (* cost row: minimize sum of artificials; expressed in terms of
+     non-basic variables: z_j - c_j = sum over rows of artificial rows *)
+  let cost = Array.make (n + 1) Qnum.zero in
+  for i = 0 to m - 1 do
+    for j = 0 to n do
+      cost.(j) <- Qnum.add cost.(j) t.(i).(j)
+    done
+  done;
+  (* artificial columns contribute cost 1 each: subtract *)
+  for i = 0 to m - 1 do
+    let art = (2 * nv) + n_slack + i in
+    cost.(art) <- Qnum.sub cost.(art) Qnum.one
+  done;
+  let is_artificial j = j >= (2 * nv) + n_slack in
+  (* Bland's rule: entering = smallest index with positive reduced cost
+     (we maximize the negated objective ⇔ minimize artificial sum). *)
+  let rec iterate () =
+    (* pick entering column: positive cost coefficient, smallest index *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to n - 1 do
+         if Qnum.gt cost.(j) Qnum.zero then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering = -1 then ()
+    else begin
+      let e = !entering in
+      (* ratio test with Bland tie-breaking on basis variable index *)
+      let leaving = ref (-1) in
+      let best = ref Qnum.zero in
+      for i = 0 to m - 1 do
+        if Qnum.gt t.(i).(e) Qnum.zero then begin
+          let ratio = Qnum.div t.(i).(n) t.(i).(e) in
+          if
+            !leaving = -1
+            || Qnum.lt ratio !best
+            || (Qnum.equal ratio !best && basis.(i) < basis.(!leaving))
+          then begin
+            leaving := i;
+            best := ratio
+          end
+        end
+      done;
+      if !leaving = -1 then
+        (* unbounded in the phase-1 objective: cannot happen (objective is
+           bounded below by 0), but guard anyway *)
+        ()
+      else begin
+        let l = !leaving in
+        (* pivot on (l, e) *)
+        let piv = t.(l).(e) in
+        for j = 0 to n do
+          t.(l).(j) <- Qnum.div t.(l).(j) piv
+        done;
+        for i = 0 to m - 1 do
+          if i <> l && not (Qnum.is_zero t.(i).(e)) then begin
+            let f = t.(i).(e) in
+            for j = 0 to n do
+              t.(i).(j) <- Qnum.sub t.(i).(j) (Qnum.mul f t.(l).(j))
+            done
+          end
+        done;
+        if not (Qnum.is_zero cost.(e)) then begin
+          let f = cost.(e) in
+          for j = 0 to n do
+            cost.(j) <- Qnum.sub cost.(j) (Qnum.mul f t.(l).(j))
+          done
+        end;
+        basis.(l) <- e;
+        iterate ()
+      end
+    end
+  in
+  iterate ();
+  (* objective value = -cost.(n) … cost row holds z - c; the artificial sum
+     equals cost.(n) after optimization *)
+  let infeasibility = cost.(n) in
+  if Qnum.gt infeasibility Qnum.zero then Runsat
+  else begin
+    (* check no artificial variable remains basic with nonzero value *)
+    let bad = ref false in
+    for i = 0 to m - 1 do
+      if is_artificial basis.(i) && not (Qnum.is_zero t.(i).(n)) then
+        bad := true
+    done;
+    if !bad then Runsat
+    else begin
+      let value = Array.make (2 * nv) Qnum.zero in
+      for i = 0 to m - 1 do
+        if basis.(i) < 2 * nv then value.(basis.(i)) <- t.(i).(n)
+      done;
+      let assignment =
+        Array.to_list
+          (Array.mapi
+             (fun j v -> (v, Qnum.sub value.(2 * j) value.((2 * j) + 1)))
+             vars)
+      in
+      Rsat assignment
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Integer feasibility: branch and bound                               *)
+(* ------------------------------------------------------------------ *)
+
+let solve_integer ?(max_nodes = 2000) (cs : constr list) : integer_result =
+  let budget = ref max_nodes in
+  let rec go cs =
+    if !budget <= 0 then Iunknown
+    else begin
+      decr budget;
+      match solve_rational cs with
+      | Runsat -> Iunsat
+      | Rsat assignment -> (
+        match
+          List.find_opt (fun (_, q) -> not (Qnum.is_integer q)) assignment
+        with
+        | None ->
+          Isat (List.map (fun (v, q) -> (v, Qnum.num q)) assignment)
+        | Some (v, q) -> (
+          let lower = le [ (v, Qnum.one) ] (Qnum.floor q) in
+          let upper =
+            le [ (v, Qnum.minus_one) ] (Qnum.neg (Qnum.ceil q))
+          in
+          match go (lower :: cs) with
+          | Isat a -> Isat a
+          | Iunsat -> go (upper :: cs)
+          | Iunknown -> (
+            match go (upper :: cs) with
+            | Isat a -> Isat a
+            | Iunsat | Iunknown -> Iunknown)))
+    end
+  in
+  go cs
+
+(* ------------------------------------------------------------------ *)
+(* Convenience checks                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rational_feasible cs =
+  match solve_rational cs with Rsat _ -> true | Runsat -> false
+
+let satisfies (assignment : (string * int) list) (c : constr) : bool =
+  let lookup v =
+    match List.assoc_opt v assignment with Some n -> n | None -> 0
+  in
+  let lhs =
+    List.fold_left
+      (fun acc (v, q) -> Qnum.add acc (Qnum.mul q (Qnum.of_int (lookup v))))
+      Qnum.zero c.coeffs
+  in
+  match c.op with
+  | Le -> Qnum.leq lhs c.rhs
+  | Eq -> Qnum.equal lhs c.rhs

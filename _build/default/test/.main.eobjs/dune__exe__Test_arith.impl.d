@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest List Presburger Printf QCheck QCheck_alcotest Simplex String

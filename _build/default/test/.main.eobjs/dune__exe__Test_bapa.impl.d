@@ -1,0 +1,1 @@
+test/test_bapa.ml: Alcotest Bapa Form List Logic Parser Pprint QCheck QCheck_alcotest Sequent

@@ -1,0 +1,1 @@
+test/test_euf.ml: Alcotest Euf List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fca.ml: Alcotest Fca Form List Logic Parser Sequent

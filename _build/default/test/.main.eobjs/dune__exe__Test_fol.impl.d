@@ -1,0 +1,1 @@
+test/test_fol.ml: Alcotest Fol List Logic Parser Sequent

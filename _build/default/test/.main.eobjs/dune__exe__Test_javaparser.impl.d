@@ -1,0 +1,1 @@
+test/test_javaparser.ml: Alcotest Gcl Javaparser List Logic Option Printf Sys

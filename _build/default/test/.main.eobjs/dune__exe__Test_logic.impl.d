@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Form Ftype List Logic Parser Pprint Printf QCheck QCheck_alcotest Simplify Typecheck

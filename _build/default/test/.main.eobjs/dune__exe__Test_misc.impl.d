@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Dispatch Form Ftype Gcl Jahob_core Javaparser List Logic Option Parser Sequent Subst Sys

@@ -1,0 +1,1 @@
+test/test_mona.ml: Alcotest List Mona QCheck QCheck_alcotest String

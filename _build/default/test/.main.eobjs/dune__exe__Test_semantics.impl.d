@@ -1,0 +1,1 @@
+test/test_semantics.ml: Array Form Ftype List Logic Parser Pprint QCheck QCheck_alcotest Simplify Typecheck

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Form List Logic Parser Pprint QCheck QCheck_alcotest Sequent Smt

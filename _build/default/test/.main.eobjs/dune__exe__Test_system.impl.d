@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Dispatch Fol Form Gcl Instantiate Jahob_core Javaparser List Logic Parser Pprint Printf Sequent Shape Simplify Smt String Sys Vcgen

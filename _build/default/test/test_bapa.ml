@@ -1,0 +1,115 @@
+(** Tests for the BAPA decision procedure. *)
+
+open Logic
+
+let prove hyps goal =
+  Bapa.prove (Sequent.make (List.map Parser.parse hyps) (Parser.parse goal))
+
+let check expected msg hyps goal =
+  match prove hyps goal, expected with
+  | Sequent.Valid, `Valid -> ()
+  | Sequent.Invalid _, `Invalid -> ()
+  | Sequent.Unknown _, `Unknown -> ()
+  | v, _ ->
+    Alcotest.failf "%s: got %s" msg (Sequent.verdict_to_string v)
+
+let test_set_algebra () =
+  check `Valid "union commutes" [] "A Un B = B Un A";
+  check `Valid "inter assoc" [] "(A Int B) Int C = A Int (B Int C)";
+  check `Valid "de morgan-ish" [ "A Int B = {}"; "x : A" ] "x ~: B";
+  check `Invalid "not equal" [] "A = B";
+  check `Valid "diff disjoint" [] "(A - B) Int B = {}"
+
+let test_cardinalities () =
+  check `Valid "disjoint sum"
+    [ "A Int B = {}"; "card A = 3"; "card B = 4" ]
+    "card (A Un B) = 7";
+  check `Valid "monotone" [ "A <= B" ] "card A <= card B";
+  check `Invalid "overlap breaks sum"
+    [ "card A = 3"; "card B = 4" ]
+    "card (A Un B) = 7";
+  check `Valid "inclusion-exclusion"
+    [ "card A = 5"; "card B = 5"; "card (A Int B) = 2" ]
+    "card (A Un B) = 8";
+  check `Valid "empty has card 0" [ "A = {}" ] "card A = 0";
+  check `Valid "singleton card" [] "card {x} = 1"
+
+let test_elements () =
+  check `Valid "element in union" [ "x : A" ] "x : A Un B";
+  check `Valid "distinct elements"
+    [ "x : A"; "y ~: A" ] "x ~= y";
+  check `Valid "card lower bound from members"
+    [ "x : A"; "y : A"; "x ~= y" ]
+    "card A >= 2";
+  check `Invalid "members may coincide"
+    [ "x : A"; "y : A" ]
+    "card A >= 2"
+
+let test_fragment_rejection () =
+  check `Unknown "field reads are out of fragment" [ "x..f = y" ] "y = x..f";
+  check `Unknown "quantifiers are out of fragment"
+    [ "ALL z. z : A" ] "x : A"
+
+(* random cross-check against brute-force over subsets of a 4-element
+   universe: validity of small set-algebra sequents *)
+let prop_vs_bruteforce =
+  let open QCheck.Gen in
+  let svar = oneofl [ "A"; "B" ] in
+  let rec sexp n st =
+    if n = 0 then (Form.mk_var (svar st))
+    else
+      frequency
+        [ (3, fun st -> Form.mk_var (svar st));
+          (1, return Form.mk_emptyset);
+          (2, fun st -> Form.mk_union (sexp (n / 2) st) (sexp (n / 2) st));
+          (2, fun st -> Form.mk_inter (sexp (n / 2) st) (sexp (n / 2) st));
+          (1, fun st -> Form.mk_diff (sexp (n / 2) st) (sexp (n / 2) st));
+        ]
+        st
+  in
+  let gen =
+    let* a = sized (fun n -> sexp (min n 6)) in
+    let* b = sized (fun n -> sexp (min n 6)) in
+    return (Form.mk_eq a b)
+  in
+  QCheck.Test.make ~name:"bapa agrees with subset enumeration" ~count:200
+    (QCheck.make ~print:Pprint.to_string gen) (fun goal ->
+      let verdict = Bapa.prove (Sequent.make [] goal) in
+      (* brute force: A, B over subsets of {0..3} *)
+      let rec eval env (f : Form.t) : int =
+        match Form.strip_types f with
+        | Form.Var x -> List.assoc x env
+        | Form.Const Form.EmptySet -> 0
+        | Form.App (Form.Const Form.Union, [ a; b ]) ->
+          eval env a lor eval env b
+        | Form.App (Form.Const Form.Inter, [ a; b ]) ->
+          eval env a land eval env b
+        | Form.App (Form.Const (Form.Diff | Form.Minus), [ a; b ]) ->
+          eval env a land lnot (eval env b) land 15
+        | _ -> Alcotest.fail "unexpected set term"
+      in
+      let valid = ref true in
+      for a = 0 to 15 do
+        for b = 0 to 15 do
+          let env = [ ("A", a); ("B", b) ] in
+          (match Form.strip_types goal with
+          | Form.App (Form.Const Form.Eq, [ l; r ]) ->
+            if eval env l <> eval env r then valid := false
+          | _ -> Alcotest.fail "unexpected goal")
+        done
+      done;
+      (* 4 elements suffice for 2 set variables (4 Venn regions) *)
+      match verdict with
+      | Sequent.Valid -> !valid
+      | Sequent.Invalid _ -> not !valid
+      | Sequent.Unknown _ -> true)
+
+let suite =
+  [ ( "bapa",
+      [ Alcotest.test_case "set algebra" `Quick test_set_algebra;
+        Alcotest.test_case "cardinalities" `Quick test_cardinalities;
+        Alcotest.test_case "elements" `Quick test_elements;
+        Alcotest.test_case "fragment rejection" `Quick test_fragment_rejection;
+        QCheck_alcotest.to_alcotest prop_vs_bruteforce;
+      ] );
+  ]

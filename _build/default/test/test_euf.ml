@@ -1,0 +1,150 @@
+(** Tests for the congruence-closure (EUF) decision procedure. *)
+
+open Euf
+
+let a = mk_const "a"
+let b = mk_const "b"
+let c = mk_const "c"
+let d = mk_const "d"
+let f x = mk_app "f" [ x ]
+let g x y = mk_app "g" [ x; y ]
+
+let check_sat msg eqs diseqs =
+  match check ~eqs ~diseqs with
+  | Sat -> ()
+  | Unsat -> Alcotest.failf "%s: expected SAT" msg
+
+let check_unsat msg eqs diseqs =
+  match check ~eqs ~diseqs with
+  | Unsat -> ()
+  | Sat -> Alcotest.failf "%s: expected UNSAT" msg
+
+let test_basic () =
+  check_sat "empty" [] [];
+  check_sat "a=b alone" [ (a, b) ] [];
+  check_unsat "a=b, a<>b" [ (a, b) ] [ (a, b) ];
+  check_sat "a=b, a<>c" [ (a, b) ] [ (a, c) ];
+  check_unsat "transitivity" [ (a, b); (b, c) ] [ (a, c) ]
+
+let test_congruence () =
+  check_unsat "f-congruence" [ (a, b) ] [ (f a, f b) ];
+  check_unsat "nested congruence" [ (a, b) ] [ (f (f a), f (f b)) ];
+  check_sat "no congruence without eq" [] [ (f a, f b) ];
+  check_unsat "binary congruence" [ (a, b); (c, d) ] [ (g a c, g b d) ];
+  check_sat "partial args differ" [ (a, b) ] [ (g a c, g b d) ]
+
+let test_classic_chains () =
+  (* f^3(a)=a & f^5(a)=a ==> f(a)=a  (gcd argument) *)
+  let rec fn n x = if n = 0 then x else f (fn (n - 1) x) in
+  check_unsat "f3=a,f5=a implies f1=a"
+    [ (fn 3 a, a); (fn 5 a, a) ]
+    [ (f a, a) ];
+  check_sat "f2=a alone does not imply f1=a" [ (fn 2 a, a) ] [ (f a, a) ];
+  check_unsat "f2=a,f3=a implies f1=a"
+    [ (fn 2 a, a); (fn 3 a, a) ]
+    [ (f a, a) ]
+
+let test_curried_use () =
+  (* g(a,b)=c & a=d ==> g(d,b)=c *)
+  check_unsat "use-list rehash" [ (g a b, c); (a, d) ] [ (g d b, c) ]
+
+let test_implied_equalities () =
+  let implied = implied_equalities ~eqs:[ (a, b); (c, d) ] [ a; b; c; d ] in
+  Alcotest.(check int) "two pairs" 2 (List.length implied);
+  let implied2 =
+    implied_equalities ~eqs:[ (a, b); (f a, c); (f b, d) ] [ c; d ]
+  in
+  (* c = f(a) = f(b) = d by congruence *)
+  Alcotest.(check int) "congruence-implied equality" 1 (List.length implied2)
+
+let test_incremental () =
+  let st = create () in
+  merge st a b;
+  Alcotest.(check bool) "a=b" true (equal_terms st a b);
+  Alcotest.(check bool) "fa=fb" true (equal_terms st (f a) (f b));
+  Alcotest.(check bool) "a<>c yet" false (equal_terms st a c);
+  merge st b c;
+  Alcotest.(check bool) "a=c now" true (equal_terms st a c);
+  Alcotest.(check bool) "inconsistency detection" true
+    (inconsistent st [ (f a, f c) ])
+
+(* random sanity: congruence closure vs. ground enumeration over a small
+   universe of 3 elements and one unary function *)
+let prop_vs_bruteforce =
+  let gen =
+    QCheck.Gen.(
+      let term =
+        oneofl [ a; b; c; f a; f b; f c; f (f a) ]
+      in
+      pair
+        (list_size (0 -- 4) (pair term term))
+        (list_size (0 -- 3) (pair term term)))
+  in
+  let print (eqs, diseqs) =
+    let pl l =
+      String.concat ", "
+        (List.map
+           (fun (x, y) -> term_to_string x ^ "=" ^ term_to_string y)
+           l)
+    in
+    "eqs: " ^ pl eqs ^ " diseqs: " ^ pl diseqs
+  in
+  let arb = QCheck.make ~print gen in
+  (* brute force: interpret over universe {0,1,2}, all assignments of a,b,c
+     and all functions f: U -> U *)
+  let brute (eqs, diseqs) =
+    let universe = [ 0; 1; 2 ] in
+    let rec eval_term fa fb fc ftab t =
+      match t with
+      | Sym ("a", []) -> fa
+      | Sym ("b", []) -> fb
+      | Sym ("c", []) -> fc
+      | Sym ("f", [ u ]) -> List.nth ftab (eval_term fa fb fc ftab u)
+      | Sym (_, _) -> assert false
+    in
+    List.exists
+      (fun fa ->
+        List.exists
+          (fun fb ->
+            List.exists
+              (fun fc ->
+                List.exists
+                  (fun f0 ->
+                    List.exists
+                      (fun f1 ->
+                        List.exists
+                          (fun f2 ->
+                            let ftab = [ f0; f1; f2 ] in
+                            let ev = eval_term fa fb fc ftab in
+                            List.for_all (fun (x, y) -> ev x = ev y) eqs
+                            && List.for_all
+                                 (fun (x, y) -> ev x <> ev y)
+                                 diseqs)
+                          universe)
+                      universe)
+                  universe)
+              universe)
+          universe)
+      universe
+  in
+  QCheck.Test.make ~name:"euf complete on small universe" ~count:300 arb
+    (fun (eqs, diseqs) ->
+      match check ~eqs ~diseqs with
+      | Unsat ->
+        (* congruence closure UNSAT must mean no model at all *)
+        not (brute (eqs, diseqs))
+      | Sat -> true
+      (* SAT in EUF (infinite universe) need not transfer to a 3-element
+         universe, so only the UNSAT direction is checked *))
+
+let suite =
+  [ ( "euf",
+      [ Alcotest.test_case "basic equality" `Quick test_basic;
+        Alcotest.test_case "congruence" `Quick test_congruence;
+        Alcotest.test_case "classic chains" `Quick test_classic_chains;
+        Alcotest.test_case "use-list rehash" `Quick test_curried_use;
+        Alcotest.test_case "implied equalities" `Quick test_implied_equalities;
+        Alcotest.test_case "incremental" `Quick test_incremental;
+        QCheck_alcotest.to_alcotest prop_vs_bruteforce;
+      ] );
+  ]

@@ -1,0 +1,91 @@
+(** Tests for field constraint analysis and the MONA route. *)
+
+open Logic
+
+let parse = Parser.parse
+
+let prove hyps goal =
+  Fca.prover.Sequent.prove
+    (Sequent.make (List.map parse hyps) (parse goal))
+
+let check expected msg hyps goal =
+  match prove hyps goal, expected with
+  | Sequent.Valid, `Valid -> ()
+  | Sequent.Invalid _, `Invalid -> ()
+  | Sequent.Unknown _, `Unknown -> ()
+  | v, _ -> Alcotest.failf "%s: got %s" msg (Sequent.verdict_to_string v)
+
+let reach h x = "rtrancl_pt (% u v. u..next = v) " ^ h ^ " " ^ x
+
+let test_reachability () =
+  check `Valid "reflexivity" [ reach "h" "x" ] (reach "x" "x");
+  check `Valid "step implies reach"
+    [ reach "h" "x"; reach "h" "y"; "x..next = y" ]
+    (reach "x" "y");
+  check `Invalid "reach is not symmetric"
+    [ reach "h" "x" ]
+    (reach "x" "h");
+  check `Valid "linearity: reachable nodes are ordered"
+    [ reach "h" "x"; reach "h" "y" ]
+("(" ^ reach "x" "y" ^ ") | (" ^ reach "y" "x" ^ ")")
+
+let test_null_conventions () =
+  check `Valid "null reaches only null"
+    [ reach "h" "x"; "x = null" ]
+    (reach "x" "x");
+  check `Valid "next of null is null"
+    [ reach "h" "x"; "x = null"; "x..next = y" ]
+    "y = null"
+
+let test_applicability () =
+  (* not chain rooted: z floats free *)
+  check `Unknown "unrooted variable" [ reach "h" "x" ] "z..next = z";
+  (* arithmetic is out of fragment *)
+  check `Unknown "arithmetic rejected" [ "x >= 1" ] "x >= 0"
+
+let test_derived_field_elimination () =
+  let s =
+    Sequent.make
+      [ parse "ALL x y. x..d = y --> y = x..next";
+        parse (reach "h" "a") ]
+      (parse (reach "h" "a..d"))
+  in
+  let s' = Fca.analyze_sequent s in
+  (* the goal no longer reads the derived field d *)
+  let reads_d (f : Form.t) =
+    Form.exists_sub
+      (fun g ->
+        match g with
+        | Form.App (Form.Const Form.FieldRead, [ Form.Var "d"; _ ]) -> true
+        | _ -> false)
+      f
+  in
+  Alcotest.(check bool) "goal free of d" false (reads_d s'.Sequent.goal);
+  (* and the constraint instance appears among the hypotheses *)
+  Alcotest.(check bool) "constraint instantiated" true
+    (List.length s'.Sequent.hyps >= 2);
+  match Fca.prover.Sequent.prove s with
+  | Sequent.Valid -> ()
+  | v -> Alcotest.failf "expected valid after FCA, got %s"
+           (Sequent.verdict_to_string v)
+
+let test_set_reasoning_via_words () =
+  (* pure monadic sequents go through without chain facts *)
+  check `Valid "pointwise subset transitivity"
+    [ "ALL e. e : A --> e : B"; "ALL e. e : B --> e : C" ]
+    "ALL e. e : A --> e : C";
+  check `Invalid "subset is not symmetric"
+    [ "ALL e. e : A --> e : B" ]
+    "ALL e. e : B --> e : A"
+
+let suite =
+  [ ( "fca",
+      [ Alcotest.test_case "reachability" `Quick test_reachability;
+        Alcotest.test_case "null conventions" `Quick test_null_conventions;
+        Alcotest.test_case "applicability gate" `Quick test_applicability;
+        Alcotest.test_case "derived-field elimination" `Quick
+          test_derived_field_elimination;
+        Alcotest.test_case "monadic set reasoning" `Quick
+          test_set_reasoning_via_words;
+      ] );
+  ]

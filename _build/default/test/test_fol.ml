@@ -1,0 +1,89 @@
+(** Tests for the first-order resolution prover. *)
+
+open Logic
+
+let parse = Parser.parse
+
+let prove ?set_vars hyps goal =
+  let s = Sequent.make (List.map parse hyps) (parse goal) in
+  match set_vars with
+  | Some sv -> Fol.prove_with ~set_vars:sv s
+  | None -> Fol.prove s
+
+let check_valid msg ?set_vars hyps goal =
+  match prove ?set_vars hyps goal with
+  | Sequent.Valid -> ()
+  | v ->
+    Alcotest.failf "%s: expected valid, got %s" msg
+      (Sequent.verdict_to_string v)
+
+let check_not_valid msg ?set_vars hyps goal =
+  match prove ?set_vars hyps goal with
+  | Sequent.Valid -> Alcotest.failf "%s: expected not provable" msg
+  | Sequent.Invalid _ | Sequent.Unknown _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Core resolution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_propositional () =
+  check_valid "modus ponens" [ "p = q"; "p = q --> r = t" ] "r = t";
+  check_valid "contraposition" [ "a = b --> c = d" ] "c ~= d --> a ~= b";
+  check_not_valid "invalid" [ "a = b | c = d" ] "a = b"
+
+let test_equality_reasoning () =
+  check_valid "transitivity" [ "a = b"; "b = c" ] "a = c";
+  check_valid "congruence" [ "a = b" ] "a..f = b..f";
+  check_valid "symmetry" [ "a = b" ] "b = a";
+  check_not_valid "not forced" [ "a = b" ] "a = c"
+
+let test_quantifiers () =
+  check_valid "instantiation" [ "ALL x. x..f = x" ] "a..f = a";
+  check_valid "witness" [ "a..f = b" ] "EX x. x..f = b";
+  check_valid "swap exists forall" [ "EX y. ALL x. x..r = y" ]
+    "ALL x. EX y. x..r = y";
+  check_not_valid "no invalid swap" [ "ALL x. EX y. x..r = y" ]
+    "EX y. ALL x. x..r = y";
+  check_valid "drinker-style" [] "EX x. (EX y. y..d = null) --> x..d = null"
+
+let test_set_reasoning () =
+  (* pointwise translation of client-level set obligations *)
+  check_valid "union membership" ~set_vars:[ "s"; "t" ]
+    [ "x : s" ] "x : s Un t";
+  check_valid "subset transitivity" ~set_vars:[ "s"; "t"; "u" ]
+    [ "ALL e. e : s --> e : t"; "ALL e. e : t --> e : u" ]
+    "ALL e. e : s --> e : u";
+  check_valid "disjointness from empty inter" ~set_vars:[ "s"; "t" ]
+    [ "s Int t = {}"; "x : s" ] "x ~: t";
+  check_valid "add preserves disjointness" ~set_vars:[ "s"; "t"; "s2" ]
+    [ "s Int t = {}"; "o ~: t"; "s2 = s Un {o}" ] "s2 Int t = {}";
+  check_not_valid "union not inter" ~set_vars:[ "s"; "t" ]
+    [ "x : s Un t" ] "x : s Int t"
+
+let test_paper_client_obligations () =
+  (* Figure 2's move method: the disjointness invariant is maintained when
+     an element moves from a to b *)
+  check_valid "move preserves disjointness"
+    ~set_vars:[ "A"; "B"; "A2"; "B2" ]
+    [ "A Int B = {}";
+      "o : A";
+      "A2 = A - {o}";
+      "B2 = B Un {o}" ]
+    "A2 Int B2 = {}";
+  (* constructor: both lists empty are disjoint *)
+  check_valid "empty lists disjoint" ~set_vars:[ "A"; "B" ]
+    [ "A = {}"; "B = {}" ] "A Int B = {}";
+  (* add to one list keeps disjointness if the element is fresh *)
+  check_valid "fresh add" ~set_vars:[ "A"; "B"; "A2" ]
+    [ "A Int B = {}"; "x ~: B"; "A2 = A Un {x}" ] "A2 Int B = {}"
+
+let suite =
+  [ ( "fol",
+      [ Alcotest.test_case "propositional" `Quick test_propositional;
+        Alcotest.test_case "equality" `Quick test_equality_reasoning;
+        Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+        Alcotest.test_case "set reasoning" `Quick test_set_reasoning;
+        Alcotest.test_case "paper client obligations" `Quick
+          test_paper_client_obligations;
+      ] );
+  ]

@@ -1,0 +1,195 @@
+(** Tests for the CDCL SAT solver. *)
+
+let check_sat msg clauses =
+  match Sat.solve_clauses clauses with
+  | Sat.Sat m ->
+    (* verify the model satisfies every clause *)
+    List.iter
+      (fun clause ->
+        if not (List.exists (fun l -> Sat.lit_true m l) clause) then
+          Alcotest.failf "%s: model does not satisfy %s" msg
+            (String.concat " " (List.map string_of_int clause)))
+      clauses
+  | Sat.Unsat -> Alcotest.failf "%s: expected SAT, got UNSAT" msg
+
+let check_unsat msg clauses =
+  match Sat.solve_clauses clauses with
+  | Sat.Sat _ -> Alcotest.failf "%s: expected UNSAT, got SAT" msg
+  | Sat.Unsat -> ()
+
+let test_trivial () =
+  check_sat "empty problem" [];
+  check_sat "single unit" [ [ 1 ] ];
+  check_unsat "contradictory units" [ [ 1 ]; [ -1 ] ];
+  check_sat "tautology" [ [ 1; -1 ] ];
+  check_unsat "empty clause" [ [] ]
+
+let test_propagation_chain () =
+  (* 1 -> 2 -> 3 -> ... -> 20, with 1 forced *)
+  let chain = List.init 19 (fun i -> [ -(i + 1); i + 2 ]) in
+  check_sat "implication chain sat" ([ 1 ] :: chain);
+  check_unsat "chain with broken end" (([ 1 ] :: chain) @ [ [ -20 ] ])
+
+let test_small_unsat () =
+  (* classic: all 8 clauses over 3 vars *)
+  let all8 =
+    [ [ 1; 2; 3 ]; [ 1; 2; -3 ]; [ 1; -2; 3 ]; [ 1; -2; -3 ];
+      [ -1; 2; 3 ]; [ -1; 2; -3 ]; [ -1; -2; 3 ]; [ -1; -2; -3 ] ]
+  in
+  check_unsat "all 8 combinations" all8;
+  check_sat "7 of 8" (List.tl all8)
+
+let test_pigeonhole () =
+  (* PHP(n+1, n): n+1 pigeons in n holes — unsat, forces real search *)
+  let php pigeons holes =
+    let var p h = (p * holes) + h + 1 in
+    let per_pigeon =
+      List.init pigeons (fun p -> List.init holes (fun h -> var p h))
+    in
+    let conflicts = ref [] in
+    for h = 0 to holes - 1 do
+      for p1 = 0 to pigeons - 1 do
+        for p2 = p1 + 1 to pigeons - 1 do
+          conflicts := [ -var p1 h; -var p2 h ] :: !conflicts
+        done
+      done
+    done;
+    per_pigeon @ !conflicts
+  in
+  check_unsat "php 4/3" (php 4 3);
+  check_unsat "php 6/5" (php 6 5);
+  check_sat "php 5/5 sat" (php 5 5)
+
+let test_random_3sat () =
+  (* deterministic pseudo-random low-ratio instances are almost surely sat;
+     verify the model for each *)
+  let seed = ref 123456789 in
+  let rand m =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod m
+  in
+  for instance = 1 to 20 do
+    let nvars = 30 in
+    let nclauses = 90 (* ratio 3.0 < 4.26: satisfiable w.h.p. *) in
+    let clauses =
+      List.init nclauses (fun _ ->
+          List.init 3 (fun _ ->
+              let v = 1 + rand nvars in
+              if rand 2 = 0 then v else -v))
+    in
+    match Sat.solve_clauses clauses with
+    | Sat.Sat m ->
+      List.iter
+        (fun clause ->
+          if not (List.exists (fun l -> Sat.lit_true m l) clause) then
+            Alcotest.failf "instance %d: bad model" instance)
+        clauses
+    | Sat.Unsat -> () (* rare but legitimate *)
+  done
+
+let test_assumptions () =
+  let s = Sat.create () in
+  ignore (Sat.add_clause s [ -1; 2 ]);
+  ignore (Sat.add_clause s [ -2; 3 ]);
+  (match Sat.solve ~assumptions:[ 1 ] s with
+  | Sat.Sat m ->
+    Alcotest.(check bool) "1 true" true (Sat.lit_true m 1);
+    Alcotest.(check bool) "3 propagated" true (Sat.lit_true m 3)
+  | Sat.Unsat -> Alcotest.fail "expected sat under assumption 1");
+  ignore (Sat.add_clause s [ -3 ]);
+  (match Sat.solve ~assumptions:[ 1 ] s with
+  | Sat.Sat _ -> Alcotest.fail "expected unsat under assumption 1"
+  | Sat.Unsat -> ());
+  (* solver still usable without the assumption *)
+  match Sat.solve s with
+  | Sat.Sat m -> Alcotest.(check bool) "1 false now" false (Sat.lit_true m 1)
+  | Sat.Unsat -> Alcotest.fail "expected sat without assumptions"
+
+let test_incremental () =
+  let s = Sat.create () in
+  ignore (Sat.add_clause s [ 1; 2 ]);
+  (match Sat.solve s with
+  | Sat.Sat _ -> ()
+  | Sat.Unsat -> Alcotest.fail "sat expected");
+  ignore (Sat.add_clause s [ -1 ]);
+  ignore (Sat.add_clause s [ -2 ]);
+  match Sat.solve s with
+  | Sat.Sat _ -> Alcotest.fail "unsat expected after strengthening"
+  | Sat.Unsat -> ()
+
+(* graph k-coloring encodings: triangle 2-colors unsat, 3-colors sat *)
+let coloring edges k n =
+  let var v c = (v * k) + c + 1 in
+  let vertex_clauses = List.init n (fun v -> List.init k (fun c -> var v c)) in
+  let edge_clauses =
+    List.concat_map
+      (fun (u, v) -> List.init k (fun c -> [ -var u c; -var v c ]))
+      edges
+  in
+  vertex_clauses @ edge_clauses
+
+let test_coloring () =
+  let triangle = [ (0, 1); (1, 2); (0, 2) ] in
+  check_unsat "triangle 2-coloring" (coloring triangle 2 3);
+  check_sat "triangle 3-coloring" (coloring triangle 3 3);
+  (* K4 3-coloring unsat *)
+  let k4 = [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  check_unsat "K4 3-coloring" (coloring k4 3 4);
+  check_sat "K4 4-coloring" (coloring k4 4 4)
+
+let prop_agrees_with_bruteforce =
+  (* small random instances: compare CDCL verdict with brute force *)
+  let gen =
+    QCheck.Gen.(
+      let clause = list_size (1 -- 3) (int_range 1 4 >>= fun v ->
+        oneofl [ v; -v ])
+      in
+      list_size (0 -- 12) clause)
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun cs ->
+        String.concat "; "
+          (List.map
+             (fun c -> String.concat " " (List.map string_of_int c))
+             cs))
+      gen
+  in
+  QCheck.Test.make ~name:"cdcl agrees with brute force" ~count:500 arb
+    (fun clauses ->
+      let brute_sat =
+        let n = 4 in
+        let rec try_assign v assigned =
+          if v > n then
+            List.for_all
+              (fun c ->
+                List.exists
+                  (fun l ->
+                    let value = List.nth assigned (abs l - 1) in
+                    if l > 0 then value else not value)
+                  c)
+              clauses
+          else
+            try_assign (v + 1) (assigned @ [ true ])
+            || try_assign (v + 1) (assigned @ [ false ])
+        in
+        try_assign 1 []
+      in
+      let cdcl_sat =
+        match Sat.solve_clauses clauses with Sat.Sat _ -> true | Sat.Unsat -> false
+      in
+      brute_sat = cdcl_sat)
+
+let suite =
+  [ ( "sat",
+      [ Alcotest.test_case "trivial" `Quick test_trivial;
+        Alcotest.test_case "propagation chain" `Quick test_propagation_chain;
+        Alcotest.test_case "small unsat" `Quick test_small_unsat;
+        Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+        Alcotest.test_case "random 3sat" `Quick test_random_3sat;
+        Alcotest.test_case "assumptions" `Quick test_assumptions;
+        Alcotest.test_case "incremental" `Quick test_incremental;
+        Alcotest.test_case "graph coloring" `Quick test_coloring;
+        QCheck_alcotest.to_alcotest prop_agrees_with_bruteforce;
+      ] );
+  ]

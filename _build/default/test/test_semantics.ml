@@ -1,0 +1,276 @@
+(** Semantic preservation tests: a reference interpreter for the
+    specification logic over a small finite structure, used to check that
+    {!Logic.Simplify.simplify} and {!Logic.Simplify.nnf} preserve meaning
+    and that the pretty-printer/parser round trip does too.
+
+    The structure: objects are [0..3] (with [null] = 0), object sets are
+    bitmasks over the universe, integers are machine integers, and fields
+    are tabulated functions. *)
+
+open Logic
+
+type value =
+  | Vbool of bool
+  | Vint of int
+  | Vobj of int (* 0 = null *)
+  | Vset of int (* bitmask over objects 0..3 *)
+
+type env = {
+  obj_vars : (string * int) list;
+  int_vars : (string * int) list;
+  set_vars : (string * int) list;
+  field : int array; (* one unary function over the universe *)
+}
+
+exception Ill_sorted
+
+let universe = [ 0; 1; 2; 3 ]
+
+let rec eval (env : env) (f : Form.t) : value =
+  match Form.strip_types f with
+  | Form.Var x -> (
+    match List.assoc_opt x env.obj_vars with
+    | Some o -> Vobj o
+    | None -> (
+      match List.assoc_opt x env.int_vars with
+      | Some i -> Vint i
+      | None -> (
+        match List.assoc_opt x env.set_vars with
+        | Some s -> Vset s
+        | None -> raise Ill_sorted)))
+  | Form.Const (Form.BoolLit b) -> Vbool b
+  | Form.Const (Form.IntLit n) -> Vint n
+  | Form.Const Form.Null -> Vobj 0
+  | Form.Const Form.EmptySet -> Vset 0
+  | Form.Const Form.UnivSet -> Vset 15
+  | Form.App (Form.Const Form.Not, [ g ]) -> Vbool (not (as_bool env g))
+  | Form.App (Form.Const Form.And, gs) ->
+    Vbool (List.for_all (as_bool env) gs)
+  | Form.App (Form.Const Form.Or, gs) -> Vbool (List.exists (as_bool env) gs)
+  | Form.App (Form.Const Form.Impl, [ a; b ]) ->
+    Vbool ((not (as_bool env a)) || as_bool env b)
+  | Form.App (Form.Const Form.Iff, [ a; b ]) ->
+    Vbool (as_bool env a = as_bool env b)
+  | Form.App (Form.Const Form.Ite, [ c; a; b ]) ->
+    if as_bool env c then eval env a else eval env b
+  | Form.App (Form.Const Form.Eq, [ a; b ]) -> (
+    match eval env a, eval env b with
+    | Vbool x, Vbool y -> Vbool (x = y)
+    | Vint x, Vint y -> Vbool (x = y)
+    | Vobj x, Vobj y -> Vbool (x = y)
+    | Vset x, Vset y -> Vbool (x = y)
+    | _ -> raise Ill_sorted)
+  | Form.App (Form.Const Form.Lt, [ a; b ]) ->
+    Vbool (as_int env a < as_int env b)
+  | Form.App (Form.Const Form.Le, [ a; b ]) ->
+    Vbool (as_int env a <= as_int env b)
+  | Form.App (Form.Const Form.Gt, [ a; b ]) ->
+    Vbool (as_int env a > as_int env b)
+  | Form.App (Form.Const Form.Ge, [ a; b ]) ->
+    Vbool (as_int env a >= as_int env b)
+  | Form.App (Form.Const Form.Plus, [ a; b ]) ->
+    Vint (as_int env a + as_int env b)
+  | Form.App (Form.Const Form.Minus, [ a; b ]) ->
+    Vint (as_int env a - as_int env b)
+  | Form.App (Form.Const Form.Uminus, [ a ]) -> Vint (-as_int env a)
+  | Form.App (Form.Const Form.Mult, [ a; b ]) ->
+    Vint (as_int env a * as_int env b)
+  | Form.App (Form.Const Form.Elem, [ x; s ]) ->
+    Vbool ((as_set env s lsr as_obj env x) land 1 = 1)
+  | Form.App (Form.Const Form.Union, [ a; b ]) ->
+    Vset (as_set env a lor as_set env b)
+  | Form.App (Form.Const Form.Inter, [ a; b ]) ->
+    Vset (as_set env a land as_set env b)
+  | Form.App (Form.Const Form.Diff, [ a; b ]) ->
+    Vset (as_set env a land lnot (as_set env b) land 15)
+  | Form.App (Form.Const Form.Subseteq, [ a; b ]) ->
+    Vbool (as_set env a land lnot (as_set env b) land 15 = 0)
+  | Form.App (Form.Const Form.FiniteSet, es) ->
+    Vset
+      (List.fold_left (fun m e -> m lor (1 lsl as_obj env e)) 0 es)
+  | Form.App (Form.Const Form.Card, [ s ]) ->
+    let m = as_set env s in
+    Vint (List.length (List.filter (fun i -> (m lsr i) land 1 = 1) universe))
+  | Form.App (Form.Const Form.FieldRead, [ fld; x ]) -> (
+    match Form.strip_types fld with
+    | Form.Var "f" -> Vobj env.field.(as_obj env x)
+    | _ -> raise Ill_sorted)
+  | Form.Binder (Form.Forall, [ (x, _) ], body) ->
+    Vbool
+      (List.for_all
+         (fun o ->
+           as_bool { env with obj_vars = (x, o) :: env.obj_vars } body)
+         universe)
+  | Form.Binder (Form.Exists, [ (x, _) ], body) ->
+    Vbool
+      (List.exists
+         (fun o ->
+           as_bool { env with obj_vars = (x, o) :: env.obj_vars } body)
+         universe)
+  | Form.Binder (Form.Comprehension, [ (x, _) ], body) ->
+    Vset
+      (List.fold_left
+         (fun m o ->
+           if as_bool { env with obj_vars = (x, o) :: env.obj_vars } body
+           then m lor (1 lsl o)
+           else m)
+         0 universe)
+  | _ -> raise Ill_sorted
+
+and as_bool env g =
+  match eval env g with Vbool b -> b | _ -> raise Ill_sorted
+
+and as_int env g =
+  match eval env g with Vint i -> i | _ -> raise Ill_sorted
+
+and as_set env g =
+  match eval env g with Vset s -> s | _ -> raise Ill_sorted
+
+and as_obj env g =
+  match eval env g with Vobj o -> o | _ -> raise Ill_sorted
+
+(* ------------------------------------------------------------------ *)
+(* A well-sorted random formula generator                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_formula : Form.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let obj =
+    frequency
+      [ (3, oneofl [ Form.mk_var "x"; Form.mk_var "y" ]);
+        (1, return Form.mk_null);
+      ]
+  in
+  let rec set_expr n st =
+    if n = 0 then
+      frequency
+        [ (3, oneofl [ Form.mk_var "s"; Form.mk_var "t" ]);
+          (1, return Form.mk_emptyset);
+          (1, fun st -> Form.mk_singleton (obj st));
+        ]
+        st
+    else
+      frequency
+        [ (2, fun st -> set_expr 0 st);
+          (2, fun st -> Form.mk_union (set_expr (n - 1) st) (set_expr (n - 1) st));
+          (2, fun st -> Form.mk_inter (set_expr (n - 1) st) (set_expr (n - 1) st));
+          (1, fun st -> Form.mk_diff (set_expr (n - 1) st) (set_expr (n - 1) st));
+          ( 1,
+            fun st ->
+              let body = formula 1 st in
+              Form.mk_comprehension [ ("q", Ftype.Obj) ]
+                (Form.mk_and
+                   [ Form.mk_elem (Form.mk_var "q") (set_expr 0 st); body ]) );
+        ]
+        st
+  and int_expr n st =
+    if n = 0 then
+      frequency
+        [ (2, oneofl [ Form.mk_var "i"; Form.mk_var "j" ]);
+          (2, map Form.mk_int (int_range (-3) 3));
+        ]
+        st
+    else
+      frequency
+        [ (2, fun st -> int_expr 0 st);
+          (2, fun st -> Form.mk_plus (int_expr (n - 1) st) (int_expr (n - 1) st));
+          (1, fun st -> Form.mk_minus (int_expr (n - 1) st) (int_expr (n - 1) st));
+          (1, fun st -> Form.mk_card (set_expr (n - 1) st));
+        ]
+        st
+  and atom st =
+    frequency
+      [ (3, fun st -> Form.mk_elem (obj st) (set_expr 1 st));
+        (2, fun st -> Form.mk_eq (set_expr 1 st) (set_expr 1 st));
+        (2, fun st -> Form.mk_le (int_expr 1 st) (int_expr 1 st));
+        (2, fun st -> Form.mk_eq (obj st) (obj st));
+        (1, fun st -> Form.mk_subseteq (set_expr 1 st) (set_expr 1 st));
+        ( 1,
+          fun st ->
+            Form.mk_eq
+              (Form.mk_field_read (Form.mk_var "f") (obj st))
+              (obj st) );
+      ]
+      st
+  and formula n st =
+    if n = 0 then atom st
+    else
+      frequency
+        [ (3, atom);
+          (2, fun st -> Form.mk_and [ formula (n - 1) st; formula (n - 1) st ]);
+          (2, fun st -> Form.mk_or [ formula (n - 1) st; formula (n - 1) st ]);
+          (2, fun st -> Form.mk_not (formula (n - 1) st));
+          (1, fun st -> Form.mk_impl (formula (n - 1) st) (formula (n - 1) st));
+          ( 1,
+            fun st ->
+              Form.mk_forall [ ("z", Ftype.Obj) ]
+                (Form.mk_impl
+                   (Form.mk_elem (Form.mk_var "z") (set_expr 0 st))
+                   (formula (n - 1) st)) );
+        ]
+        st
+  in
+  sized (fun n -> formula (min (max 1 (n / 8)) 3))
+
+let gen_env : env QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* xo = int_range 0 3 in
+  let* yo = int_range 0 3 in
+  let* i = int_range (-4) 4 in
+  let* j = int_range (-4) 4 in
+  let* s = int_range 0 15 in
+  let* t = int_range 0 15 in
+  let* f0 = int_range 0 3 in
+  let* f1 = int_range 0 3 in
+  let* f2 = int_range 0 3 in
+  let* f3 = int_range 0 3 in
+  return
+    { obj_vars = [ ("x", xo); ("y", yo) ];
+      int_vars = [ ("i", i); ("j", j) ];
+      set_vars = [ ("s", s); ("t", t) ];
+      field = [| f0; f1; f2; f3 |];
+    }
+
+let arb =
+  QCheck.make
+    ~print:(fun (f, _) -> Pprint.to_string f)
+    QCheck.Gen.(pair gen_formula gen_env)
+
+let bool_of f env =
+  match eval env f with Vbool b -> Some b | _ -> None | exception Ill_sorted -> None
+
+let preservation name transform =
+  QCheck.Test.make ~name ~count:500 arb (fun (f, env) ->
+      match bool_of f env with
+      | None -> true (* generator produced something out of model scope *)
+      | Some before -> (
+        match bool_of (transform f) env with
+        | Some after -> before = after
+        | None -> false))
+
+let prop_simplify_preserves = preservation "simplify preserves semantics" Simplify.simplify
+let prop_nnf_preserves = preservation "nnf preserves semantics" Simplify.nnf
+
+let prop_roundtrip_preserves =
+  (* the printer renders set difference and inclusion with the ambiguous
+     [-] and [<=]; reparsing needs the type-driven disambiguation pass,
+     exactly as the dispatcher applies it *)
+  let tenv =
+    Typecheck.env_of_list
+      [ ("s", Ftype.objset); ("t", Ftype.objset); ("i", Ftype.Int);
+        ("j", Ftype.Int); ("x", Ftype.Obj); ("y", Ftype.Obj);
+        ("f", Ftype.Arrow (Ftype.Obj, Ftype.Obj));
+      ]
+  in
+  preservation "print/parse roundtrip preserves semantics" (fun f ->
+      match Parser.parse_opt (Pprint.to_string f) with
+      | Some f' -> Typecheck.disambiguate ~env:tenv f'
+      | None -> Form.mk_false (* will be caught as a difference *))
+
+let suite =
+  [ ( "semantics",
+      [ QCheck_alcotest.to_alcotest prop_simplify_preserves;
+        QCheck_alcotest.to_alcotest prop_nnf_preserves;
+        QCheck_alcotest.to_alcotest prop_roundtrip_preserves;
+      ] );
+  ]

@@ -1,0 +1,186 @@
+(** Tests for the Nelson-Oppen SMT solver (QF_UFLIA). *)
+
+open Logic
+
+let parse = Parser.parse
+
+let prove hyps goal =
+  Smt.prove (Sequent.make (List.map parse hyps) (parse goal))
+
+let check_valid msg hyps goal =
+  match prove hyps goal with
+  | Sequent.Valid -> ()
+  | v ->
+    Alcotest.failf "%s: expected valid, got %s" msg
+      (Sequent.verdict_to_string v)
+
+let check_not_valid msg hyps goal =
+  match prove hyps goal with
+  | Sequent.Valid -> Alcotest.failf "%s: expected not-valid, got valid" msg
+  | Sequent.Invalid _ | Sequent.Unknown _ -> ()
+
+let check_invalid msg hyps goal =
+  match prove hyps goal with
+  | Sequent.Invalid _ -> ()
+  | v ->
+    Alcotest.failf "%s: expected invalid, got %s" msg
+      (Sequent.verdict_to_string v)
+
+let test_propositional () =
+  check_valid "modus ponens" [ "p = q"; "p = q --> q = r" ] "q = r";
+  check_valid "case split" [ "p = a | p = b"; "p ~= a" ] "p = b";
+  check_invalid "affirming the consequent" [ "p = q --> q = r"; "q = r" ]
+    "p = q";
+  check_valid "excluded middle" [] "x = y | x ~= y"
+
+let test_equality () =
+  check_valid "transitivity" [ "a = b"; "b = c" ] "a = c";
+  check_valid "symmetry" [ "a = b" ] "b = a";
+  check_invalid "no derivation" [ "a = b" ] "a = c";
+  check_valid "congruence via fields"
+    [ "x = y" ] "x..f = y..f";
+  check_valid "chain of four" [ "a = b"; "b = c"; "c = d" ] "a = d";
+  check_invalid "disequality consistent" [ "a ~= b" ] "a = b"
+
+let test_arith () =
+  check_valid "le antisym" [ "x <= y"; "y <= x" ] "x = y";
+  check_valid "lt chain" [ "x < y"; "y < z" ] "x < z";
+  check_valid "plus" [ "x = y + 1" ] "x > y";
+  check_invalid "not tight" [ "x <= y" ] "x = y";
+  check_valid "integer tightness" [ "x > 0"; "x < 2" ] "x = 1";
+  check_valid "parity-free reasoning" [ "2 * x = y"; "y = 6" ] "x = 3";
+  check_invalid "sat side" [ "x >= 0" ] "x >= 1"
+
+let test_combination () =
+  (* Nelson-Oppen exchange: f(x) with arithmetic forcing x = y *)
+  check_valid "arith eq to congruence"
+    [ "x <= y"; "y <= x" ] "x..f = y..f";
+  check_valid "congruence to arith"
+    [ "a = b" ] "a..g + 1 = b..g + 1";
+  check_not_valid "no false exchange" [ "x <= y" ] "x..f = y..f";
+  (* classic NO example *)
+  check_valid "f(x) <= f(y) style"
+    [ "x = y"; "x..f = 1" ] "y..f > 0"
+
+let test_field_writes () =
+  check_valid "read over write"
+    [ "g = fieldWrite f x v" ] "fieldRead g x = v";
+  check_valid "read over write, other loc"
+    [ "g = fieldWrite f x v"; "y ~= x" ] "fieldRead g y = fieldRead f y";
+  check_not_valid "unknown aliasing" [ "g = fieldWrite f x v" ]
+    "fieldRead g y = fieldRead f y"
+
+let test_opaque_atoms () =
+  (* membership atoms are EUF-interpreted: propositional structure plus
+     congruence both work *)
+  check_valid "membership modus ponens"
+    [ "x : s"; "x : s --> y : s" ] "y : s";
+  check_valid "membership congruence" [ "x : s"; "x = y" ] "y : s";
+  (* memberships admit genuine countermodels *)
+  (match prove [ "x : s" ] "y : s" with
+  | Sequent.Invalid _ -> ()
+  | v ->
+    Alcotest.failf "expected countermodel for unprovable set goal, got %s"
+      (Sequent.verdict_to_string v));
+  (* quantified atoms stay opaque: a consistent boolean model must be
+     Unknown, never Invalid *)
+  match prove [ "ALL z. z : s" ] "y : t" with
+  | Sequent.Unknown _ -> ()
+  | v ->
+    Alcotest.failf "expected unknown under opaque quantifier, got %s"
+      (Sequent.verdict_to_string v)
+
+let test_paper_client_fragment () =
+  (* the kind of obligations Client.move generates after set-rewriting *)
+  check_valid "object propagation"
+    [ "o = x"; "x ~= null" ] "o ~= null";
+  check_valid "conditional aliasing"
+    [ "first ~= null"; "n = first" ] "n ~= null"
+
+(* random QF_UFLIA sequents, cross-checked against a bounded enumerator *)
+let prop_smt_sound_on_arith =
+  (* generate small arithmetic formulas over x,y with +,<=,=; compare SMT
+     validity with brute-force over a box. If SMT says Valid, brute force
+     must find no counterexample. *)
+  let open QCheck.Gen in
+  let term =
+    frequency
+      [ (3, oneofl [ Form.mk_var "x"; Form.mk_var "y" ]);
+        (2, map Form.mk_int (int_range (-4) 4));
+      ]
+  in
+  let term2 =
+    frequency
+      [ (2, term);
+        (1, map2 Form.mk_plus term term);
+        (1, map2 Form.mk_minus term term);
+      ]
+  in
+  let atom =
+    let* a = term2 in
+    let* b = term2 in
+    oneofl [ Form.mk_le a b; Form.mk_lt a b; Form.mk_eq a b ]
+  in
+  let form =
+    let* a = atom in
+    let* b = atom in
+    let* c = atom in
+    oneofl
+      [ Form.mk_impl (Form.mk_and [ a; b ]) c;
+        Form.mk_impl a (Form.mk_or [ b; c ]);
+        Form.mk_or [ Form.mk_not a; b; c ];
+      ]
+  in
+  let arb = QCheck.make ~print:Pprint.to_string form in
+  QCheck.Test.make ~name:"smt sound wrt enumeration" ~count:200 arb (fun f ->
+      let smt_verdict = Smt.prove (Sequent.make [] f) in
+      let eval_in x y =
+        let rec ev_t (g : Form.t) : int =
+          match Form.strip_types g with
+          | Form.Var "x" -> x
+          | Form.Var "y" -> y
+          | Form.Const (Form.IntLit n) -> n
+          | Form.App (Form.Const Form.Plus, [ a; b ]) -> ev_t a + ev_t b
+          | Form.App (Form.Const Form.Minus, [ a; b ]) -> ev_t a - ev_t b
+          | _ -> Alcotest.fail "unexpected term"
+        in
+        let rec ev (g : Form.t) : bool =
+          match Form.strip_types g with
+          | Form.App (Form.Const Form.Le, [ a; b ]) -> ev_t a <= ev_t b
+          | Form.App (Form.Const Form.Lt, [ a; b ]) -> ev_t a < ev_t b
+          | Form.App (Form.Const Form.Eq, [ a; b ]) -> ev_t a = ev_t b
+          | Form.App (Form.Const Form.Not, [ a ]) -> not (ev a)
+          | Form.App (Form.Const Form.And, gs) -> List.for_all ev gs
+          | Form.App (Form.Const Form.Or, gs) -> List.exists ev gs
+          | Form.App (Form.Const Form.Impl, [ a; b ]) -> (not (ev a)) || ev b
+          | _ -> Alcotest.fail "unexpected formula"
+        in
+        ev f
+      in
+      let counterexample = ref false in
+      for x = -10 to 10 do
+        for y = -10 to 10 do
+          if not (eval_in x y) then counterexample := true
+        done
+      done;
+      match smt_verdict with
+      | Sequent.Valid -> not !counterexample
+      | Sequent.Invalid _ ->
+        (* countermodels may fall outside the enumeration box, so only the
+           Valid direction is checked strictly *)
+        true
+      | Sequent.Unknown _ -> true)
+
+let suite =
+  [ ( "smt",
+      [ Alcotest.test_case "propositional" `Quick test_propositional;
+        Alcotest.test_case "equality" `Quick test_equality;
+        Alcotest.test_case "arithmetic" `Quick test_arith;
+        Alcotest.test_case "nelson-oppen combination" `Quick test_combination;
+        Alcotest.test_case "field writes" `Quick test_field_writes;
+        Alcotest.test_case "opaque atoms" `Quick test_opaque_atoms;
+        Alcotest.test_case "paper client fragment" `Quick
+          test_paper_client_fragment;
+        QCheck_alcotest.to_alcotest prop_smt_sound_on_arith;
+      ] );
+  ]
