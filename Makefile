@@ -1,0 +1,28 @@
+# Convenience targets; `make check` is what CI should run.
+
+.PHONY: all build test check bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# build + full test suite + a parallel-dispatch smoke run of the
+# paper's List figures
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- -j 4 fig1_4
+
+bench:
+	dune exec bench/main.exe
+
+# machine-readable per-experiment timings for the perf trajectory
+bench-json:
+	dune exec bench/main.exe -- --json
+
+clean:
+	dune clean

@@ -30,9 +30,50 @@ let header title =
   Printf.printf "\n==============================================\n%s\n==============================================\n%!"
     title
 
+(* --------------- machine-readable output (--json) ------------------ *)
+
+(* worker domains used by verification-driven experiments (bench -j N) *)
+let bench_jobs = ref 1
+let json_mode = ref false
+
+(* per-experiment accumulators, reset by the driver before each run *)
+let acc_total = ref 0
+let acc_valid = ref 0
+let acc_invalid = ref 0
+let acc_unknown = ref 0
+let json_extra : (string * string) list ref = ref []
+
+let reset_accumulators () =
+  acc_total := 0;
+  acc_valid := 0;
+  acc_invalid := 0;
+  acc_unknown := 0;
+  json_extra := []
+
+(* attach a raw JSON fragment to the current experiment's record *)
+let note_json key value = json_extra := (key, value) :: !json_extra
+
+let count_report (report : Jahob_core.Jahob.program_report) =
+  List.iter
+    (fun (m : Jahob_core.Jahob.method_report) ->
+      let s = m.Jahob_core.Jahob.obligations in
+      acc_total := !acc_total + s.Dispatch.total;
+      acc_valid := !acc_valid + s.Dispatch.valid;
+      acc_invalid := !acc_invalid + s.Dispatch.invalid;
+      acc_unknown := !acc_unknown + s.Dispatch.unknown)
+    report.Jahob_core.Jahob.methods
+
+let bench_opts () =
+  { (Jahob_core.Jahob.default_options ()) with
+    Jahob_core.Jahob.jobs = !bench_jobs }
+
 let verify_and_report files =
   let files = List.map (fun f -> examples_dir ^ "/" ^ f) files in
-  let report, dt = time_it (fun () -> Jahob_core.Jahob.verify_files files) in
+  let report, dt =
+    time_it (fun () ->
+        Jahob_core.Jahob.verify_files ~opts:(bench_opts ()) files)
+  in
+  count_report report;
   List.iter
     (fun (m : Jahob_core.Jahob.method_report) ->
       let s = m.Jahob_core.Jahob.obligations in
@@ -177,9 +218,7 @@ let abl_split () =
   in
   List.iter
     (fun (name, provers) ->
-      let opts =
-        { Jahob_core.Jahob.provers; infer_loop_invariants = true }
-      in
+      let opts = { (bench_opts ()) with Jahob_core.Jahob.provers } in
       let report, dt =
         time_it (fun () -> Jahob_core.Jahob.verify_program ~opts prog)
       in
@@ -207,8 +246,7 @@ let abl_shape () =
   List.iter
     (fun (name, infer) ->
       let opts =
-        { Jahob_core.Jahob.provers = Jahob_core.Jahob.default_provers ();
-          infer_loop_invariants = infer }
+        { (bench_opts ()) with Jahob_core.Jahob.infer_loop_invariants = infer }
       in
       let report, dt =
         time_it (fun () -> Jahob_core.Jahob.verify_program ~opts prog)
@@ -381,6 +419,104 @@ let perf () =
     [ 4; 6; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* SCALING: parallel dispatch across worker domains                    *)
+(* ------------------------------------------------------------------ *)
+
+(* the combined example suite, grouped the way the other experiments
+   verify them (groups are separate programs: class names may repeat) *)
+let scaling_suite =
+  [ [ "list/Client.java"; "list/List.java" ];
+    [ "list_annotated/Client.java"; "list_annotated/List.java" ];
+    [ "global/Buffer.java" ];
+    [ "assoc/AssocClient.java"; "assoc/Assoc.java" ];
+    [ "game/Game.java" ];
+    [ "arrays/ArrayOps.java" ];
+    [ "stack/Stack.java" ];
+  ]
+
+let scaling () =
+  header "SCALING: parallel dispatch sweep over worker domains (-j)";
+  Printf.printf
+    "Obligations are independent, so dispatch fans them out across a\n\
+    \  domain pool; repeated obligations (invariant re-checks, the\n\
+    \  speculative-invariant weakening loop) are settled once by the\n\
+    \  verdict cache.  Verdict counts must not depend on -j.\n\
+    \  (host has %d core(s) available)\n"
+    (Domain.recommended_domain_count ());
+  let progs =
+    List.map
+      (fun files ->
+        List.concat_map
+          (fun f -> Javaparser.Jparser.parse_program_file (examples_dir ^ "/" ^ f))
+          files)
+      scaling_suite
+  in
+  let run jobs =
+    let opts = { (Jahob_core.Jahob.default_options ()) with jobs } in
+    let (counts, hits, lookups), dt =
+      time_it (fun () ->
+          List.fold_left
+            (fun (counts, hits, lookups) prog ->
+              let report = Jahob_core.Jahob.verify_program ~opts prog in
+              let t, v, i, u = counts in
+              let t, v, i, u =
+                List.fold_left
+                  (fun (t, v, i, u) (m : Jahob_core.Jahob.method_report) ->
+                    let s = m.Jahob_core.Jahob.obligations in
+                    ( t + s.Dispatch.total, v + s.Dispatch.valid,
+                      i + s.Dispatch.invalid, u + s.Dispatch.unknown ))
+                  (t, v, i, u) report.Jahob_core.Jahob.methods
+              in
+              let hits, lookups =
+                match Dispatch.cache report.Jahob_core.Jahob.dispatcher with
+                | None -> (hits, lookups)
+                | Some c ->
+                  let k = Dispatch.Cache.counters c in
+                  ( hits + k.Dispatch.Cache.hit_count,
+                    lookups + k.Dispatch.Cache.hit_count
+                    + k.Dispatch.Cache.miss_count )
+              in
+              ((t, v, i, u), hits, lookups))
+            ((0, 0, 0, 0), 0, 0) progs)
+    in
+    (jobs, dt, counts, hits, lookups)
+  in
+  let rows = List.map run [ 1; 2; 4; 8 ] in
+  let base =
+    match rows with (_, dt, _, _, _) :: _ -> dt | [] -> 1.
+  in
+  List.iter
+    (fun (jobs, dt, (t, v, i, u), hits, lookups) ->
+      Printf.printf
+        "  -j %d  %6.2fs  speedup %4.2fx   %3d obligations: %3d valid %3d \
+         invalid %3d unknown   cache hits %d/%d (%.1f%%)\n%!"
+        jobs dt (base /. dt) t v i u hits lookups
+        (if lookups = 0 then 0. else 100. *. float_of_int hits /. float_of_int lookups))
+    rows;
+  (match rows with
+  | (_, _, counts0, _, _) :: rest
+    when List.for_all (fun (_, _, c, _, _) -> c = counts0) rest ->
+    Printf.printf "  verdict counts identical across all -j values: OK\n%!"
+  | _ ->
+    Printf.printf "  WARNING: verdict counts differ across -j values!\n%!");
+  (match rows with
+  | (_, _, (t, v, i, u), _, _) :: _ ->
+    acc_total := t; acc_valid := v; acc_invalid := i; acc_unknown := u
+  | [] -> ());
+  note_json "scaling"
+    ("["
+    ^ String.concat ","
+        (List.map
+           (fun (jobs, dt, (t, v, i, u), hits, lookups) ->
+             Printf.sprintf
+               "{\"jobs\":%d,\"seconds\":%.4f,\"speedup\":%.3f,\"total\":%d,\
+                \"valid\":%d,\"invalid\":%d,\"unknown\":%d,\
+                \"cache_hits\":%d,\"cache_lookups\":%d}"
+               jobs dt (base /. dt) t v i u hits lookups)
+           rows)
+    ^ "]")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -443,21 +579,64 @@ let experiments =
     ("abl_shape", abl_shape);
     ("perf", perf);
     ("micro", micro);
+    ("scaling", scaling);
   ]
 
+(* {v bench/main.exe [--json] [-j N] [EXPERIMENT...] v}
+   [--json] writes per-experiment timings and obligation counts to
+   BENCH_results.json; [-j N] verifies with N worker domains. *)
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let rec parse_args names = function
+    | [] -> List.rev names
+    | "--json" :: rest ->
+      json_mode := true;
+      parse_args names rest
+    | "-j" :: n :: rest ->
+      bench_jobs := int_of_string n;
+      parse_args names rest
+    | name :: rest -> parse_args (name :: names) rest
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> (
-        try f ()
-        with e ->
-          Printf.printf "  experiment %s failed: %s\n%!" name
-            (Printexc.to_string e))
-      | None -> Printf.printf "unknown experiment: %s\n%!" name)
-    requested
+  let requested =
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
+  in
+  let records =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f ->
+          reset_accumulators ();
+          let ok, dt =
+            time_it (fun () ->
+                try f (); true
+                with e ->
+                  Printf.printf "  experiment %s failed: %s\n%!" name
+                    (Printexc.to_string e);
+                  false)
+          in
+          Some
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ok\":%b,\"seconds\":%.4f,\
+                \"obligations\":{\"total\":%d,\"valid\":%d,\"invalid\":%d,\
+                \"unknown\":%d}%s}"
+               name ok dt !acc_total !acc_valid !acc_invalid !acc_unknown
+               (String.concat ""
+                  (List.map
+                     (fun (k, v) -> Printf.sprintf ",\"%s\":%s" k v)
+                     (List.rev !json_extra))))
+        | None ->
+          Printf.printf "unknown experiment: %s\n%!" name;
+          None)
+      requested
+  in
+  if !json_mode then begin
+    let oc = open_out "BENCH_results.json" in
+    Printf.fprintf oc
+      "{\"jobs\":%d,\"experiments\":[\n  %s\n]}\n"
+      !bench_jobs
+      (String.concat ",\n  " records);
+    close_out oc;
+    Printf.printf "\nwrote BENCH_results.json (%d experiments)\n%!"
+      (List.length records)
+  end

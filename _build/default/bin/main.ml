@@ -55,19 +55,39 @@ let stats_arg =
   Arg.(value & flag
        & info [ "stats" ] ~doc:"Print per-prover statistics after verifying")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Dispatch proof obligations across $(docv) worker domains")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the verdict cache (re-prove repeated obligations)")
+
+let budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "budget" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget per prover call; a prover exceeding it \
+                 answers unknown and the portfolio moves on")
+
 let verify_cmd =
-  let run files no_inference provers stats =
+  let run files no_inference provers stats jobs no_cache budget =
     with_frontend_errors (fun () ->
         let opts =
           { Jahob_core.Jahob.provers = select_provers provers;
-            infer_loop_invariants = not no_inference }
+            infer_loop_invariants = not no_inference;
+            jobs;
+            use_cache = not no_cache;
+            budget_s = budget }
         in
         let report = Jahob_core.Jahob.verify_files ~opts files in
         Format.printf "%a" (Jahob_core.Jahob.pp_report ~stats) report;
         if report.Jahob_core.Jahob.ok then 0 else 1)
   in
   Cmd.v (Cmd.info "verify" ~doc:"Verify all annotated methods")
-    Term.(const run $ files_arg $ no_inference_arg $ provers_arg $ stats_arg)
+    Term.(const run $ files_arg $ no_inference_arg $ provers_arg $ stats_arg
+          $ jobs_arg $ no_cache_arg $ budget_arg)
 
 let vc_cmd =
   let run files =

@@ -27,10 +27,14 @@ let default_provers () : Logic.Sequent.prover list =
 type options = {
   provers : Logic.Sequent.prover list;
   infer_loop_invariants : bool; (* use symbolic shape analysis *)
+  jobs : int; (* worker domains; 1 = sequential *)
+  use_cache : bool; (* memoize verdicts of repeated obligations *)
+  budget_s : float option; (* wall-clock budget per prover call *)
 }
 
 let default_options () =
-  { provers = default_provers (); infer_loop_invariants = true }
+  { provers = default_provers (); infer_loop_invariants = true;
+    jobs = 1; use_cache = true; budget_s = None }
 
 (* loop-invariant inference uses the fast provers only; the full portfolio
    still checks the final obligations *)
@@ -51,7 +55,18 @@ let vcgen_options ?(drop = []) (opts : options)
 (** Verify every method of a parsed program. *)
 let verify_program ?(opts = default_options ()) (prog : Ast.program) :
     program_report =
-  let dispatcher = Dispatch.create opts.provers in
+  (* one pool serves both fan-out levels: methods are verified in
+     parallel and each method's obligations are claimed from the same
+     shared queue (Pool.map nests safely) *)
+  let pool =
+    if opts.jobs > 1 then Some (Dispatch.Pool.create ~jobs:opts.jobs) else None
+  in
+  let cache =
+    if opts.use_cache then Some (Dispatch.Cache.create ()) else None
+  in
+  let dispatcher =
+    Dispatch.create ?pool ?cache ?budget_s:opts.budget_s opts.provers
+  in
   let tasks = Gcl.Desugar.program_tasks prog in
   let verify_task (task : Gcl.Desugar.method_task) =
     (* counterexample-driven weakening: inferred invariant conjuncts that
@@ -104,7 +119,8 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
     { method_name = task.Gcl.Desugar.task_name;
       obligations = attempt 0 [] }
   in
-  let methods = List.map verify_task tasks in
+  let methods = Dispatch.Pool.map_opt pool verify_task tasks in
+  Option.iter Dispatch.Pool.shutdown pool;
   let ok =
     List.for_all
       (fun m ->

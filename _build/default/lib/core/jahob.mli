@@ -25,6 +25,13 @@ val default_provers : unit -> Logic.Sequent.prover list
 type options = {
   provers : Logic.Sequent.prover list;
   infer_loop_invariants : bool;
+  jobs : int;
+      (** worker domains for parallel dispatch; 1 verifies sequentially *)
+  use_cache : bool;
+      (** memoize verdicts of repeated (canonicalized) obligations *)
+  budget_s : float option;
+      (** wall-clock budget per prover call; [None] leaves provers
+          unbounded *)
 }
 
 val default_options : unit -> options

@@ -1,0 +1,1 @@
+lib/dispatch/cache.ml: Hashtbl Logic Mutex Sequent

@@ -1,0 +1,1 @@
+lib/dispatch/pool.ml: Array Atomic Condition Domain List Mutex

@@ -1,0 +1,66 @@
+(** Verdict cache: settle each distinct proof obligation once.
+
+    Obligations repeat heavily — [requires]/invariant re-checks across
+    methods, and every round of the speculative-invariant weakening loop
+    regenerates most of a method's obligations unchanged.  Sequents are
+    keyed by {!Logic.Sequent.digest} (canonicalized, so hypothesis order
+    and bound-variable names don't matter) and the verdict plus the name
+    of the prover that settled it are stored.
+
+    The cache is shared by all domains of a dispatcher; a mutex guards the
+    table and the hit/miss counters.  Lookups and insertions are tiny
+    compared to a prover call, so contention is negligible. *)
+
+open Logic
+
+type entry = {
+  verdict : Sequent.verdict;
+  prover : string option; (* which prover settled it, for reports *)
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () : t =
+  { table = Hashtbl.create 64; mutex = Mutex.create (); hits = 0; misses = 0 }
+
+(** The cache key of a sequent (see {!Logic.Sequent.digest}). *)
+let key (s : Sequent.t) : string = Sequent.digest s
+
+let find (c : t) (k : string) : entry option =
+  Mutex.lock c.mutex;
+  let r = Hashtbl.find_opt c.table k in
+  (match r with
+  | Some _ -> c.hits <- c.hits + 1
+  | None -> c.misses <- c.misses + 1);
+  Mutex.unlock c.mutex;
+  r
+
+let add (c : t) (k : string) (e : entry) : unit =
+  Mutex.lock c.mutex;
+  (* first writer wins: concurrent domains proving the same obligation
+     reach identical verdicts, so either entry is correct *)
+  if not (Hashtbl.mem c.table k) then Hashtbl.add c.table k e;
+  Mutex.unlock c.mutex
+
+type counters = { hit_count : int; miss_count : int; entries : int }
+
+let counters (c : t) : counters =
+  Mutex.lock c.mutex;
+  let r =
+    { hit_count = c.hits;
+      miss_count = c.misses;
+      entries = Hashtbl.length c.table }
+  in
+  Mutex.unlock c.mutex;
+  r
+
+(** Hit rate over all lookups so far; 0 when nothing was looked up. *)
+let hit_rate (c : t) : float =
+  let k = counters c in
+  let total = k.hit_count + k.miss_count in
+  if total = 0 then 0. else float_of_int k.hit_count /. float_of_int total

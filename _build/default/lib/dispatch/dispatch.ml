@@ -9,9 +9,19 @@
     configurable order.  A prover that answers [Unknown] passes the goal
     on; [Valid] and [Invalid] are final.  Assumption filtering keeps each
     query small: hypotheses sharing no symbols with the goal (direct or
-    transitive) are dropped before a prover runs. *)
+    transitive) are dropped before a prover runs.
+
+    Obligations are independent, so [prove_all] fans them out across the
+    domains of an optional {!Pool.t}.  An optional verdict {!Cache.t}
+    settles repeated obligations once, and [with_budget] bounds the
+    wall-clock time of any single prover call. *)
 
 open Logic
+
+(* re-export the sibling modules: [dispatch] is this library's main
+   module, so [Pool] and [Cache] are only reachable through it *)
+module Pool = Pool
+module Cache = Cache
 
 type prover_stats = {
   mutable attempts : int;
@@ -28,15 +38,66 @@ type report = {
 type t = {
   provers : Sequent.prover list;
   stats : (string, prover_stats) Hashtbl.t;
+  stats_mutex : Mutex.t; (* guards [stats]: domains update it concurrently *)
+  pool : Pool.t option; (* fan obligations out when present *)
+  cache : Cache.t option; (* verdict memoization when present *)
   mutable simplify_first : bool;
   mutable filter_assumptions : bool;
   mutable ground_saturate : bool;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Per-prover wall-clock budgets                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [with_budget ~budget_s p] answers [Unknown] once [p] has run for
+    [budget_s] seconds of wall-clock time, so one pathological query
+    cannot stall the portfolio.  The prover runs in a helper thread that
+    is abandoned on timeout (OCaml cannot interrupt pure computation);
+    abandoned threads finish on their own and their verdicts are
+    discarded. *)
+let with_budget ~(budget_s : float) (p : Sequent.prover) : Sequent.prover =
+  { Sequent.prover_name = p.Sequent.prover_name;
+    prove =
+      (fun s ->
+        let result = Atomic.make None in
+        let (_ : Thread.t) =
+          Thread.create
+            (fun () ->
+              let v =
+                try p.Sequent.prove s
+                with e ->
+                  Sequent.Unknown
+                    ("prover raised " ^ Printexc.to_string e)
+              in
+              Atomic.set result (Some v))
+            ()
+        in
+        let deadline = Unix.gettimeofday () +. budget_s in
+        let rec wait delay =
+          match Atomic.get result with
+          | Some v -> v
+          | None ->
+            if Unix.gettimeofday () >= deadline then
+              Sequent.Unknown
+                (Printf.sprintf "budget of %gs exceeded" budget_s)
+            else begin
+              Thread.delay delay;
+              wait (Float.min (delay *. 2.) 0.01)
+            end
+        in
+        wait 2e-4) }
+
 let create ?(simplify_first = true) ?(filter_assumptions = true)
-    ?(ground_saturate = true) (provers : Sequent.prover list) : t =
-  { provers; stats = Hashtbl.create 8; simplify_first; filter_assumptions;
-    ground_saturate }
+    ?(ground_saturate = true) ?pool ?cache ?budget_s
+    (provers : Sequent.prover list) : t =
+  let provers =
+    match budget_s with
+    | None -> provers
+    | Some budget_s -> List.map (with_budget ~budget_s) provers
+  in
+  { provers; stats = Hashtbl.create 8; stats_mutex = Mutex.create ();
+    pool; cache; simplify_first; filter_assumptions; ground_saturate }
 
 let stats_for (d : t) (name : string) : prover_stats =
   match Hashtbl.find_opt d.stats name with
@@ -46,31 +107,40 @@ let stats_for (d : t) (name : string) : prover_stats =
     Hashtbl.add d.stats name s;
     s
 
+(* all stats mutation goes through here; [upd] must not block *)
+let bump_stats (d : t) (name : string) (upd : prover_stats -> unit) : unit =
+  Mutex.lock d.stats_mutex;
+  upd (stats_for d name);
+  Mutex.unlock d.stats_mutex
+
 (* ------------------------------------------------------------------ *)
 (* Assumption filtering                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* keep hypotheses connected to the goal through shared free variables *)
+(* Keep hypotheses connected to the goal through shared free variables.
+   Each hypothesis's free-variable set is computed once up front; the
+   fixpoint then only manipulates the precomputed sets. *)
 let relevant_hyps (hyps : Form.t list) (goal : Form.t) : Form.t list =
-  let fv = Form.fv in
+  let hyp_fvs = List.map (fun h -> (h, Form.fv h)) hyps in
   let rec grow (relevant : Form.Sset.t) =
     let next =
       List.fold_left
-        (fun acc h ->
-          let hv = fv h in
+        (fun acc (_, hv) ->
           if Form.Sset.is_empty (Form.Sset.inter hv relevant) then acc
           else Form.Sset.union acc hv)
-        relevant hyps
+        relevant hyp_fvs
     in
     if Form.Sset.equal next relevant then relevant else grow next
   in
-  let reachable = grow (fv goal) in
-  List.filter
-    (fun h ->
-      let hv = fv h in
-      Form.Sset.is_empty hv
-      || not (Form.Sset.is_empty (Form.Sset.inter hv reachable)))
-    hyps
+  let reachable = grow (Form.fv goal) in
+  List.filter_map
+    (fun (h, hv) ->
+      if
+        Form.Sset.is_empty hv
+        || not (Form.Sset.is_empty (Form.Sset.inter hv reachable))
+      then Some h
+      else None)
+    hyp_fvs
 
 (* ------------------------------------------------------------------ *)
 (* Proving                                                             *)
@@ -89,8 +159,8 @@ let syntactic (s : Sequent.t) : Sequent.verdict option =
   then Some Sequent.Valid
   else None
 
-(** Prove one sequent with the portfolio. *)
-let prove_sequent (d : t) (s : Sequent.t) : report =
+(* the portfolio run proper, after the cache has been consulted *)
+let prove_uncached (d : t) (s : Sequent.t) : report =
   let s =
     if d.simplify_first then begin
       (* joint type inference resolves <=, < and - between sets *)
@@ -132,14 +202,16 @@ let prove_sequent (d : t) (s : Sequent.t) : report =
           verdict = Sequent.Unknown "no prover settled the goal";
           prover = None }
       | (p : Sequent.prover) :: rest -> (
-        let st = stats_for d p.Sequent.prover_name in
-        st.attempts <- st.attempts + 1;
+        bump_stats d p.Sequent.prover_name (fun st ->
+            st.attempts <- st.attempts + 1);
         match p.Sequent.prove s with
         | Sequent.Valid ->
-          st.proved <- st.proved + 1;
+          bump_stats d p.Sequent.prover_name (fun st ->
+              st.proved <- st.proved + 1);
           { sequent = s; verdict = Sequent.Valid; prover = Some p.Sequent.prover_name }
         | Sequent.Invalid m ->
-          st.refuted <- st.refuted + 1;
+          bump_stats d p.Sequent.prover_name (fun st ->
+              st.refuted <- st.refuted + 1);
           { sequent = s;
             verdict = Sequent.Invalid m;
             prover = Some p.Sequent.prover_name }
@@ -148,9 +220,29 @@ let prove_sequent (d : t) (s : Sequent.t) : report =
     in
     try_provers d.provers
 
-(** Prove a list of obligations; returns individual reports. *)
+(** Prove one sequent with the portfolio, consulting the verdict cache
+    first.  The cache key is computed on the incoming sequent, before any
+    simplification, so a repeated obligation costs one canonicalization
+    and nothing else. *)
+let prove_sequent (d : t) (s : Sequent.t) : report =
+  match d.cache with
+  | None -> prove_uncached d s
+  | Some cache -> (
+    let k = Cache.key s in
+    match Cache.find cache k with
+    | Some e ->
+      { sequent = s; verdict = e.Cache.verdict; prover = e.Cache.prover }
+    | None ->
+      let r = prove_uncached d s in
+      Cache.add cache k
+        { Cache.verdict = r.verdict; prover = r.prover };
+      r)
+
+(** Prove a list of obligations; returns individual reports in input
+    order.  When the dispatcher holds a pool, obligations are claimed by
+    its domains from a shared queue. *)
 let prove_all (d : t) (sequents : Sequent.t list) : report list =
-  List.map (prove_sequent d) sequents
+  Pool.map_opt d.pool (prove_sequent d) sequents
 
 type summary = {
   total : int;
@@ -174,17 +266,39 @@ let summarize (reports : report list) : summary =
   let total = List.length reports in
   { total; valid; invalid; unknown = total - valid - invalid; reports }
 
-(** Per-prover counters accumulated by this dispatcher. *)
+(** Per-prover counters accumulated by this dispatcher.  The returned
+    records are snapshots: safe to read while other domains keep
+    proving. *)
 let stats (d : t) : (string * prover_stats) list =
-  Hashtbl.fold (fun name s acc -> (name, s) :: acc) d.stats []
-  |> List.sort compare
+  Mutex.lock d.stats_mutex;
+  let r =
+    Hashtbl.fold
+      (fun name s acc ->
+        (name, { attempts = s.attempts; proved = s.proved; refuted = s.refuted })
+        :: acc)
+      d.stats []
+    |> List.sort compare
+  in
+  Mutex.unlock d.stats_mutex;
+  r
+
+(** The dispatcher's verdict cache, if caching is enabled. *)
+let cache (d : t) : Cache.t option = d.cache
 
 let pp_stats ppf (d : t) =
   List.iter
     (fun (name, (s : prover_stats)) ->
       Format.fprintf ppf "@,  %-12s attempts %4d   proved %4d   refuted %4d"
         name s.attempts s.proved s.refuted)
-    (stats d)
+    (stats d);
+  match d.cache with
+  | None -> ()
+  | Some c ->
+    let k = Cache.counters c in
+    Format.fprintf ppf
+      "@,  %-12s hits %7d   misses %5d   entries %4d   hit rate %.1f%%"
+      "cache" k.Cache.hit_count k.Cache.miss_count k.Cache.entries
+      (100. *. Cache.hit_rate c)
 
 let pp_summary ppf (s : summary) =
   Format.fprintf ppf "%d obligations: %d valid, %d invalid, %d unknown"

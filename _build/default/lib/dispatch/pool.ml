@@ -1,0 +1,132 @@
+(** A fixed-size pool of OCaml 5 domains with a shared work queue.
+
+    Proof obligations within a method (and methods within a program) are
+    independent, so the dispatcher fans them out across domains instead of
+    iterating.  The design is self-scheduling: each [map] call publishes a
+    batch of tasks; idle workers repeatedly grab the next unclaimed index
+    from any live batch, so fast workers automatically steal the work a
+    slow worker never reaches.
+
+    Nesting is safe on a single pool.  The caller of [map] participates in
+    its own batch before blocking (helping), so a worker whose task itself
+    calls [map] — e.g. per-method verification fanning out into per-
+    obligation proving — never deadlocks: every claimed task is being
+    executed by some domain, and the waits-for graph between batches is
+    acyclic. *)
+
+type batch = {
+  mutable tasks : (unit -> unit) array;
+  next : int Atomic.t; (* next unclaimed task index; may run past the end *)
+  mutable pending : int; (* unfinished tasks, guarded by the pool mutex *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  mutable batches : batch list; (* live batches, guarded by [mutex] *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs (p : t) = p.jobs
+
+(* claim one task from any live batch; call with [mutex] held *)
+let claim_locked (p : t) : (unit -> unit) option =
+  let rec scan = function
+    | [] -> None
+    | b :: rest ->
+      let i = Atomic.fetch_and_add b.next 1 in
+      if i < Array.length b.tasks then Some b.tasks.(i) else scan rest
+  in
+  scan p.batches
+
+let rec worker_loop (p : t) =
+  Mutex.lock p.mutex;
+  match claim_locked p with
+  | Some task ->
+    Mutex.unlock p.mutex;
+    task ();
+    worker_loop p
+  | None ->
+    if p.stop then Mutex.unlock p.mutex
+    else begin
+      Condition.wait p.work_available p.mutex;
+      Mutex.unlock p.mutex;
+      worker_loop p
+    end
+
+(** [create ~jobs] spawns [jobs - 1] worker domains; the domain calling
+    [map] is the remaining worker. *)
+let create ~jobs : t =
+  let jobs = max 1 jobs in
+  let p =
+    { jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      batches = [];
+      stop = false;
+      workers = [] }
+  in
+  p.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let shutdown (p : t) =
+  Mutex.lock p.mutex;
+  p.stop <- true;
+  Condition.broadcast p.work_available;
+  Mutex.unlock p.mutex;
+  List.iter Domain.join p.workers;
+  p.workers <- []
+
+(** Parallel [List.map] preserving order.  The first exception raised by
+    [f] is re-raised in the caller once the whole batch has settled. *)
+let map (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  if p.jobs <= 1 || List.compare_length_with xs 2 < 0 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let results : ('b, exn) result option array = Array.make n None in
+    let batch = { tasks = [||]; next = Atomic.make 0; pending = n } in
+    let run i () =
+      let r = try Ok (f arr.(i)) with e -> Error e in
+      results.(i) <- Some r;
+      Mutex.lock p.mutex;
+      batch.pending <- batch.pending - 1;
+      if batch.pending = 0 then begin
+        p.batches <- List.filter (fun b -> b != batch) p.batches;
+        Condition.broadcast p.batch_done
+      end;
+      Mutex.unlock p.mutex
+    in
+    batch.tasks <- Array.init n run;
+    Mutex.lock p.mutex;
+    p.batches <- p.batches @ [ batch ];
+    Condition.broadcast p.work_available;
+    Mutex.unlock p.mutex;
+    (* help with our own batch before blocking *)
+    let rec help () =
+      let i = Atomic.fetch_and_add batch.next 1 in
+      if i < n then begin
+        batch.tasks.(i) ();
+        help ()
+      end
+    in
+    help ();
+    Mutex.lock p.mutex;
+    while batch.pending > 0 do
+      Condition.wait p.batch_done p.mutex
+    done;
+    Mutex.unlock p.mutex;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
+
+(** [map] on an optional pool: [None] means run sequentially. *)
+let map_opt (p : t option) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  match p with None -> List.map f xs | Some p -> map p f xs

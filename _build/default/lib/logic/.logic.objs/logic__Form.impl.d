@@ -1,1 +1,1 @@
-lib/logic/form.ml: Ftype List Map Printf Set String
+lib/logic/form.ml: Atomic Ftype List Map Printf Set String

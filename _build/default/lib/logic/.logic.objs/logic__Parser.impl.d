@@ -1,1 +1,1 @@
-lib/logic/parser.ml: Array Form Format Ftype List String
+lib/logic/parser.ml: Array Atomic Form Format Ftype List String

@@ -1,1 +1,1 @@
-lib/logic/sequent.ml: Form Format List Pprint
+lib/logic/sequent.ml: Buffer Digest Form Format List Pprint String

@@ -251,12 +251,12 @@ let fv f = fv_acc Sset.empty Sset.empty f
 let fv_list f = Sset.elements (fv f)
 
 (* Fresh-name generation: a global counter suffices because generated names
-   use a reserved separator that the parsers never produce. *)
-let fresh_counter = ref 0
+   use a reserved separator that the parsers never produce.  Atomic so that
+   domains proving obligations in parallel never mint the same name. *)
+let fresh_counter = Atomic.make 0
 
 let fresh_name base =
-  incr fresh_counter;
-  Printf.sprintf "%s__%d" base !fresh_counter
+  Printf.sprintf "%s__%d" base (Atomic.fetch_and_add fresh_counter 1 + 1)
 
 (** Capture-avoiding parallel substitution.  [subst map f] replaces each
     free occurrence of a variable bound in [map]. *)
@@ -289,6 +289,31 @@ let rec subst (map : t Smap.t) f =
         Binder (b, vars', subst map body)
 
 let subst1 x g f = subst (Smap.singleton x g) f
+
+(** Alpha-normalization: every bound variable is renamed to a canonical
+    name determined only by its binding depth ([?b0], [?b1], ...), and type
+    annotations are stripped.  Alpha-equivalent formulas normalize to
+    structurally identical trees, so their printed forms — and hence their
+    digests — coincide.  The [?] prefix cannot clash with source-level
+    identifiers: no parser produces it. *)
+let alpha_normalize f =
+  let rec go (env : ident Smap.t) (depth : int) f =
+    match f with
+    | TypedForm (g, _) -> go env depth g
+    | Var x -> ( match Smap.find_opt x env with Some y -> Var y | None -> f)
+    | Const _ -> f
+    | App (g, args) -> App (go env depth g, List.map (go env depth) args)
+    | Binder (b, vars, body) ->
+      let vars_rev, env, depth =
+        List.fold_left
+          (fun (vs, env, d) (x, ty) ->
+            let x' = Printf.sprintf "?b%d" d in
+            ((x', ty) :: vs, Smap.add x x' env, d + 1))
+          ([], env, depth) vars
+      in
+      Binder (b, List.rev vars_rev, go env depth body)
+  in
+  go Smap.empty 0 f
 
 let subst_list pairs f =
   subst (List.fold_left (fun m (x, g) -> Smap.add x g m) Smap.empty pairs) f

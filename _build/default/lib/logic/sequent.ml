@@ -32,6 +32,43 @@ let of_form ?(name = "goal") (f : Form.t) : t =
   let hyps, goal = Form.hypotheses_and_goal f in
   { name; hyps; goal }
 
+(* ------------------------------------------------------------------ *)
+(* Canonicalization and digests (verdict-cache keys)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Canonical form for caching: every hypothesis and the goal are
+    alpha-normalized (bound variables renamed by binding depth, type
+    annotations stripped), then the hypotheses are sorted and deduplicated
+    by their printed form.  Two sequents that differ only in hypothesis
+    order or bound-variable names canonicalize identically. *)
+let canonicalize (s : t) : t =
+  let keyed =
+    List.map
+      (fun h ->
+        let h = Form.alpha_normalize h in
+        (Pprint.to_string h, h))
+      s.hyps
+  in
+  let keyed =
+    List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) keyed
+  in
+  { s with hyps = List.map snd keyed; goal = Form.alpha_normalize s.goal }
+
+(** A stable key for the canonicalized sequent: the MD5 digest of its
+    printed form.  [name] does not participate — obligations regenerated
+    under different labels still collide, which is the point. *)
+let digest (s : t) : string =
+  let c = canonicalize s in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun h ->
+      Buffer.add_string buf (Pprint.to_string h);
+      Buffer.add_char buf '\n')
+    c.hyps;
+  Buffer.add_string buf "|-";
+  Buffer.add_string buf (Pprint.to_string c.goal);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp ppf (s : t) =
   Format.fprintf ppf "@[<v>%a@]"
     (fun ppf () ->

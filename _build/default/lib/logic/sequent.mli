@@ -28,5 +28,15 @@ val to_form : t -> Form.t
 (** Split an implication chain back into a sequent. *)
 val of_form : ?name:string -> Form.t -> t
 
+(** Canonical form for verdict caching: alpha-normalized hypotheses and
+    goal, hypotheses sorted and deduplicated by printed form. *)
+val canonicalize : t -> t
+
+(** Stable cache key: MD5 of the canonicalized sequent's printed form.
+    Invariant under hypothesis reordering, duplicate hypotheses,
+    bound-variable renaming and type annotations; the [name] field is
+    ignored. *)
+val digest : t -> string
+
 val pp : Format.formatter -> t -> unit
 val verdict_to_string : verdict -> string

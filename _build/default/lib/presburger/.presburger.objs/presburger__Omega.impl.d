@@ -1,1 +1,1 @@
-lib/presburger/omega.ml: Hashtbl Linterm List Pform Printf Sys
+lib/presburger/omega.ml: Atomic Hashtbl Linterm List Pform Printf Sys

@@ -51,11 +51,11 @@ let norm_eq t =
 (* Eliminate one equality from the system, possibly introducing a fresh
    variable (Pugh's mod-elimination).  Returns the substitution applied to
    everything. *)
-let fresh_counter = ref 0
+(* atomic: provers may run concurrently on separate domains *)
+let fresh_counter = Atomic.make 0
 
 let fresh_var () =
-  incr fresh_counter;
-  Printf.sprintf "_omega%d" !fresh_counter
+  Printf.sprintf "_omega%d" (Atomic.fetch_and_add fresh_counter 1 + 1)
 
 let rec eliminate_equalities (sys : system) : system =
   (if Sys.getenv_opt "OMEGA_DEBUG" <> None then

@@ -1,0 +1,275 @@
+(** Dispatcher engine tests: the domain pool, the verdict cache and its
+    canonicalized keys, per-prover budgets, and the guarantee that
+    parallel dispatch reports exactly what sequential dispatch reports. *)
+
+open Logic
+
+let parse = Parser.parse
+
+let seq ?name hyps goal =
+  Sequent.make ?name (List.map parse hyps) (parse goal)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let pool = Dispatch.Pool.create ~jobs:4 in
+  let xs = List.init 100 (fun i -> i) in
+  let got = Dispatch.Pool.map pool (fun i -> i * i) xs in
+  Dispatch.Pool.shutdown pool;
+  Alcotest.(check (list int)) "order preserved" (List.map (fun i -> i * i) xs) got
+
+let test_pool_nested () =
+  (* a task that itself maps on the same pool must not deadlock *)
+  let pool = Dispatch.Pool.create ~jobs:3 in
+  let got =
+    Dispatch.Pool.map pool
+      (fun i ->
+        List.fold_left ( + ) 0
+          (Dispatch.Pool.map pool (fun j -> (10 * i) + j) [ 1; 2; 3 ]))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Dispatch.Pool.shutdown pool;
+  Alcotest.(check (list int)) "nested map"
+    (List.map (fun i -> (30 * i) + 6) [ 0; 1; 2; 3; 4 ])
+    got
+
+let test_pool_exception () =
+  let pool = Dispatch.Pool.create ~jobs:2 in
+  let r =
+    try
+      ignore
+        (Dispatch.Pool.map pool
+           (fun i -> if i = 3 then failwith "boom" else i)
+           [ 1; 2; 3; 4 ]);
+      "no exception"
+    with Failure m -> m
+  in
+  Dispatch.Pool.shutdown pool;
+  Alcotest.(check string) "exception propagates" "boom" r
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization and digests                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest_hyp_order () =
+  let a = seq [ "x <= y"; "y <= z" ] "x <= z" in
+  let b = seq [ "y <= z"; "x <= y" ] "x <= z" in
+  Alcotest.(check string) "hypothesis order ignored" (Sequent.digest a)
+    (Sequent.digest b)
+
+let test_digest_alpha () =
+  let a = seq [ "ALL u. u..f = u"; "x < y" ] "a..f = a" in
+  let b = seq [ "x < y"; "ALL v. v..f = v" ] "a..f = a" in
+  Alcotest.(check string) "bound variable names ignored" (Sequent.digest a)
+    (Sequent.digest b);
+  let c = seq [ "EX p. p : A & (ALL q. q : A --> p = q)" ] "card A = 1" in
+  let d = seq [ "EX w. w : A & (ALL z. z : A --> w = z)" ] "card A = 1" in
+  Alcotest.(check string) "nested binders normalized" (Sequent.digest c)
+    (Sequent.digest d)
+
+let test_digest_discriminates () =
+  let a = seq [ "x <= y" ] "x <= y" in
+  let b = seq [ "x <= y" ] "y <= x" in
+  Alcotest.(check bool) "different goals, different keys" false
+    (Sequent.digest a = Sequent.digest b)
+
+let test_digest_name_irrelevant () =
+  let a = seq ~name:"List.add: post" [ "x <= y" ] "x <= y" in
+  let b = seq ~name:"List.remove: pre" [ "x <= y" ] "x <= y" in
+  Alcotest.(check string) "provenance label ignored" (Sequent.digest a)
+    (Sequent.digest b)
+
+let test_canonicalize_dedups () =
+  let s = seq [ "x <= y"; "a = b"; "x <= y" ] "x <= z" in
+  let c = Sequent.canonicalize s in
+  Alcotest.(check int) "duplicate hypotheses collapse" 2
+    (List.length c.Sequent.hyps)
+
+(* ------------------------------------------------------------------ *)
+(* Verdict cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* a prover that counts invocations; goal chosen so the syntactic check
+   cannot settle it first *)
+let counting_prover (count : int ref) : Sequent.prover =
+  { Sequent.prover_name = "count";
+    prove = (fun _ -> incr count; Sequent.Valid) }
+
+let test_cache_hit () =
+  let count = ref 0 in
+  let cache = Dispatch.Cache.create () in
+  let d = Dispatch.create ~cache [ counting_prover count ] in
+  let a = seq [ "ALL u. u..f = u"; "x < y" ] "p..g = q" in
+  (* same obligation, reordered hypotheses and renamed binder *)
+  let b = seq [ "x < y"; "ALL v. v..f = v" ] "p..g = q" in
+  let ra = Dispatch.prove_sequent d a in
+  let rb = Dispatch.prove_sequent d b in
+  let rc = Dispatch.prove_sequent d a in
+  Alcotest.(check int) "prover ran once" 1 !count;
+  Alcotest.(check bool) "verdicts identical" true
+    (ra.Dispatch.verdict = rb.Dispatch.verdict
+    && rb.Dispatch.verdict = rc.Dispatch.verdict);
+  Alcotest.(check (option string)) "settling prover reported on hits"
+    (Some "count") rc.Dispatch.prover;
+  let k = Dispatch.Cache.counters cache in
+  Alcotest.(check int) "two hits" 2 k.Dispatch.Cache.hit_count;
+  Alcotest.(check int) "one miss" 1 k.Dispatch.Cache.miss_count
+
+let test_cache_bypass () =
+  (* no cache: every repetition reaches the portfolio (--no-cache) *)
+  let count = ref 0 in
+  let d = Dispatch.create [ counting_prover count ] in
+  let s = seq [ "x < y" ] "p..g = q" in
+  ignore (Dispatch.prove_sequent d s);
+  ignore (Dispatch.prove_sequent d s);
+  ignore (Dispatch.prove_sequent d s);
+  Alcotest.(check int) "prover ran every time" 3 !count
+
+(* ------------------------------------------------------------------ *)
+(* Parallel dispatch agrees with sequential dispatch                   *)
+(* ------------------------------------------------------------------ *)
+
+let mixed_sequents () =
+  List.concat
+    (List.init 5 (fun i ->
+         let x = Printf.sprintf "x%d" i in
+         [ seq [ x ^ " > 0"; x ^ " < 2" ] (x ^ " = 1"); (* valid: smt *)
+           seq [ x ^ " >= 0" ] (x ^ " >= 1"); (* invalid: smt countermodel *)
+           seq [ "card A" ^ x ^ " = 2" ] ("card A" ^ x ^ " = 3"); (* invalid *)
+           seq [] (x ^ " = " ^ x ^ " + 1"); (* invalid *)
+           seq [ x ^ " = 1" ] ("unrelated" ^ x ^ " : S" ^ x); (* unknown *)
+         ]))
+
+let totals (d : Dispatch.t) =
+  List.map
+    (fun (name, (s : Dispatch.prover_stats)) ->
+      (name, s.Dispatch.attempts, s.Dispatch.proved, s.Dispatch.refuted))
+    (Dispatch.stats d)
+
+let test_parallel_matches_sequential () =
+  let sequents = mixed_sequents () in
+  let provers () = Jahob_core.Jahob.default_provers () in
+  let d_seq = Dispatch.create (provers ()) in
+  let r_seq = Dispatch.summarize (Dispatch.prove_all d_seq sequents) in
+  let pool = Dispatch.Pool.create ~jobs:4 in
+  let d_par = Dispatch.create ~pool (provers ()) in
+  let r_par = Dispatch.summarize (Dispatch.prove_all d_par sequents) in
+  Dispatch.Pool.shutdown pool;
+  Alcotest.(check (list (pair string (pair int int))))
+    "summary counts agree"
+    [ ("totals", (r_seq.Dispatch.total, r_seq.Dispatch.valid));
+      ("rest", (r_seq.Dispatch.invalid, r_seq.Dispatch.unknown)) ]
+    [ ("totals", (r_par.Dispatch.total, r_par.Dispatch.valid));
+      ("rest", (r_par.Dispatch.invalid, r_par.Dispatch.unknown)) ];
+  Alcotest.(check (list (pair string (pair int (pair int int)))))
+    "per-prover stats agree"
+    (List.map (fun (n, a, p, r) -> (n, (a, (p, r)))) (totals d_seq))
+    (List.map (fun (n, a, p, r) -> (n, (a, (p, r)))) (totals d_par));
+  (* verdicts come back in input order *)
+  List.iter2
+    (fun (a : Dispatch.report) (b : Dispatch.report) ->
+      Alcotest.(check string) "same verdict per obligation"
+        (Sequent.verdict_to_string a.Dispatch.verdict)
+        (Sequent.verdict_to_string b.Dispatch.verdict))
+    r_seq.Dispatch.reports r_par.Dispatch.reports
+
+(* ------------------------------------------------------------------ *)
+(* Budgets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let slow_prover ~delay : Sequent.prover =
+  { Sequent.prover_name = "slow";
+    prove = (fun _ -> Thread.delay delay; Sequent.Valid) }
+
+let test_budget_exceeded () =
+  let p = Dispatch.with_budget ~budget_s:0.02 (slow_prover ~delay:0.4) in
+  match p.Sequent.prove (seq [] "x = x") with
+  | Sequent.Unknown m ->
+    Alcotest.(check bool) "reason mentions the budget" true
+      (String.length m >= 6 && String.sub m 0 6 = "budget")
+  | v ->
+    Alcotest.failf "expected unknown, got %s" (Sequent.verdict_to_string v)
+
+let test_budget_sufficient () =
+  let p = Dispatch.with_budget ~budget_s:5.0 (slow_prover ~delay:0.01) in
+  match p.Sequent.prove (seq [] "x = x") with
+  | Sequent.Valid -> ()
+  | v ->
+    Alcotest.failf "expected valid, got %s" (Sequent.verdict_to_string v)
+
+let test_budget_in_dispatcher () =
+  (* a stalled prover answers unknown; the portfolio moves on to the next *)
+  let d =
+    Dispatch.create ~budget_s:0.02
+      [ slow_prover ~delay:0.4; Smt.prover ]
+  in
+  let r = Dispatch.prove_sequent d (seq [ "x > 0"; "x < 2" ] "x = 1") in
+  Alcotest.(check (option string)) "smt settles after slow times out"
+    (Some "smt") r.Dispatch.prover;
+  Alcotest.(check string) "valid" "valid"
+    (Sequent.verdict_to_string r.Dispatch.verdict)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: parallel program verification                           *)
+(* ------------------------------------------------------------------ *)
+
+let examples_dir =
+  let candidates = [ "../examples"; "../../examples"; "examples" ] in
+  match
+    List.find_opt (fun d -> Sys.file_exists (d ^ "/global/Buffer.java")) candidates
+  with
+  | Some d -> d
+  | None -> "../examples"
+
+let test_verify_program_parallel () =
+  let prog =
+    Javaparser.Jparser.parse_program_file (examples_dir ^ "/global/Buffer.java")
+  in
+  let run jobs =
+    let opts = { (Jahob_core.Jahob.default_options ()) with jobs } in
+    let r = Jahob_core.Jahob.verify_program ~opts prog in
+    ( r.Jahob_core.Jahob.ok,
+      List.map
+        (fun (m : Jahob_core.Jahob.method_report) ->
+          ( m.Jahob_core.Jahob.method_name,
+            m.Jahob_core.Jahob.obligations.Dispatch.valid,
+            m.Jahob_core.Jahob.obligations.Dispatch.total ))
+        r.Jahob_core.Jahob.methods )
+  in
+  let ok1, m1 = run 1 in
+  let ok3, m3 = run 3 in
+  Alcotest.(check bool) "same overall outcome" ok1 ok3;
+  Alcotest.(check (list (pair string (pair int int))))
+    "same per-method counts"
+    (List.map (fun (n, v, t) -> (n, (v, t))) m1)
+    (List.map (fun (n, v, t) -> (n, (v, t))) m3)
+
+let suite =
+  [ ( "dispatch-engine",
+      [ Alcotest.test_case "pool map preserves order" `Quick test_pool_map_order;
+        Alcotest.test_case "pool nested map" `Quick test_pool_nested;
+        Alcotest.test_case "pool exception propagation" `Quick
+          test_pool_exception;
+        Alcotest.test_case "digest: hypothesis order" `Quick
+          test_digest_hyp_order;
+        Alcotest.test_case "digest: alpha-equivalence" `Quick test_digest_alpha;
+        Alcotest.test_case "digest: discriminates goals" `Quick
+          test_digest_discriminates;
+        Alcotest.test_case "digest: name irrelevant" `Quick
+          test_digest_name_irrelevant;
+        Alcotest.test_case "canonicalize dedups hyps" `Quick
+          test_canonicalize_dedups;
+        Alcotest.test_case "cache hit settles once" `Quick test_cache_hit;
+        Alcotest.test_case "no cache re-proves" `Quick test_cache_bypass;
+        Alcotest.test_case "parallel matches sequential" `Quick
+          test_parallel_matches_sequential;
+        Alcotest.test_case "budget exceeded" `Quick test_budget_exceeded;
+        Alcotest.test_case "budget sufficient" `Quick test_budget_sufficient;
+        Alcotest.test_case "budget inside portfolio" `Quick
+          test_budget_in_dispatcher;
+        Alcotest.test_case "verify_program parallel" `Quick
+          test_verify_program_parallel;
+      ] );
+  ]

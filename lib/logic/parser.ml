@@ -207,11 +207,10 @@ let expect st t =
     error "expected '%s' but found '%s'" (token_to_string t)
       (token_to_string (cur st))
 
-let tvar_counter = ref 0
+(* atomic: the speculative-invariant loop re-parses under parallel dispatch *)
+let tvar_counter = Atomic.make 0
 
-let fresh_tvar () =
-  incr tvar_counter;
-  Ftype.Tvar !tvar_counter
+let fresh_tvar () = Ftype.Tvar (Atomic.fetch_and_add tvar_counter 1 + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Types                                                               *)
