@@ -11,11 +11,18 @@ test:
 	dune runtest
 
 # build + full test suite + a parallel-dispatch smoke run of the
-# paper's List figures
+# paper's List figures + a traced parallel run whose event log must
+# validate (verify exits 1 when not everything proves; only a hard
+# error, exit 2, fails the smoke)
 check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- -j 4 fig1_4
+	dune exec -- jahob verify --trace trace_smoke.jsonl -j 4 --stats \
+	  examples/list/Client.java examples/list/List.java \
+	  || [ $$? -eq 1 ]
+	dune exec -- jahob trace-check trace_smoke.jsonl
+	rm -f trace_smoke.jsonl
 
 bench:
 	dune exec bench/main.exe

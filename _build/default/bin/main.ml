@@ -71,8 +71,26 @@ let budget_arg =
            ~doc:"Wall-clock budget per prover call; a prover exceeding it \
                  answers unknown and the portfolio moves on")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a structured event log of the run to $(docv): spans \
+                 for parsing, VC generation, simplification and every \
+                 prover attempt, with verdicts, cache attribution and \
+                 queue-wait times")
+
+let trace_format_arg =
+  Arg.(value
+       & opt (enum [ ("jsonl", Trace.Jsonl); ("chrome", Trace.Chrome) ])
+           Trace.Jsonl
+       & info [ "trace-format" ] ~docv:"FORMAT"
+           ~doc:"Trace file format: $(b,jsonl) (one JSON event per line) or \
+                 $(b,chrome) (a chrome://tracing / Perfetto-loadable JSON \
+                 array)")
+
 let verify_cmd =
-  let run files no_inference provers stats jobs no_cache budget =
+  let run files no_inference provers stats jobs no_cache budget trace_file
+      trace_format =
     with_frontend_errors (fun () ->
         let opts =
           { Jahob_core.Jahob.provers = select_provers provers;
@@ -81,13 +99,26 @@ let verify_cmd =
             use_cache = not no_cache;
             budget_s = budget }
         in
-        let report = Jahob_core.Jahob.verify_files ~opts files in
-        Format.printf "%a" (Jahob_core.Jahob.pp_report ~stats) report;
-        if report.Jahob_core.Jahob.ok then 0 else 1)
+        (* aggregate counters feed --stats; the sink feeds --trace *)
+        if stats || trace_file <> None then Trace.start_collecting ();
+        Option.iter
+          (fun f -> Trace.open_sink ~format:trace_format f)
+          trace_file;
+        let finish () = Trace.stop () in
+        match Jahob_core.Jahob.verify_files ~opts files with
+        | report ->
+          finish ();
+          Format.printf "%a" (Jahob_core.Jahob.pp_report ~stats) report;
+          if stats then Format.printf "%a" Trace.pp_report ();
+          if report.Jahob_core.Jahob.ok then 0 else 1
+        | exception e ->
+          finish ();
+          raise e)
   in
   Cmd.v (Cmd.info "verify" ~doc:"Verify all annotated methods")
     Term.(const run $ files_arg $ no_inference_arg $ provers_arg $ stats_arg
-          $ jobs_arg $ no_cache_arg $ budget_arg)
+          $ jobs_arg $ no_cache_arg $ budget_arg $ trace_arg
+          $ trace_format_arg)
 
 let vc_cmd =
   let run files =
@@ -160,10 +191,31 @@ let prove_cmd =
        ~doc:"Prove an ad-hoc sequent with the decision-procedure portfolio")
     Term.(const run $ hyps_arg $ goal_arg $ provers_arg)
 
+let trace_check_cmd =
+  let trace_file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"A JSONL trace written by --trace")
+  in
+  let run path =
+    match Trace.check_jsonl_file path with
+    | Ok s ->
+      Format.printf "%s: %d events, %d spans, max depth %d@." path s.Trace.events
+        s.Trace.spans s.Trace.max_depth;
+      0
+    | Error msg ->
+      Format.eprintf "%s: %s@." path msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a JSONL trace file: every line parses as JSON and \
+             begin/end spans balance per thread")
+    Term.(const run $ trace_file_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "jahob" ~version:"0.1"
        ~doc:"Modular verification of data structure consistency")
-    [ verify_cmd; vc_cmd; parse_cmd; prove_cmd ]
+    [ verify_cmd; vc_cmd; parse_cmd; prove_cmd; trace_check_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -417,4 +417,5 @@ let prove (s : Sequent.t) : Sequent.verdict =
   | false -> Sequent.Valid
   | exception Out_of_fragment what -> Sequent.Unknown ("BAPA: " ^ what)
 
-let prover : Sequent.prover = { prover_name = "bapa"; prove }
+let prover : Sequent.prover =
+  Sequent.traced_prover { prover_name = "bapa"; prove }

@@ -1,1 +1,1 @@
-lib/core/jahob.ml: Bapa Dispatch Fca Fol Format Gcl Javaparser List Logic Option Shape Smt String Vcgen
+lib/core/jahob.ml: Bapa Dispatch Fca Fol Format Gcl Javaparser List Logic Option Shape Smt String Trace Vcgen

@@ -67,12 +67,23 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
   let dispatcher =
     Dispatch.create ?pool ?cache ?budget_s:opts.budget_s opts.provers
   in
-  let tasks = Gcl.Desugar.program_tasks prog in
+  let tasks =
+    Trace.with_span ~cat:"frontend" "desugar" (fun () ->
+        Gcl.Desugar.program_tasks prog)
+  in
   let verify_task (task : Gcl.Desugar.method_task) =
     (* counterexample-driven weakening: inferred invariant conjuncts that
        fail their initiation or preservation check are dropped and the
        method is retried (the speculative-engine loop of Section 2.4) *)
     let rec attempt round (drop : Logic.Form.t list) =
+      Trace.with_span ~cat:"verify"
+        ~args:(fun () ->
+          [ ("method", Trace.S task.Gcl.Desugar.task_name);
+            ("round", Trace.I round);
+            ("dropped", Trace.I (List.length drop)) ])
+        "round"
+        (fun () -> attempt_once round drop)
+    and attempt_once round (drop : Logic.Form.t list) =
       let vopts = vcgen_options ~drop opts task in
       let obligations = Vcgen.method_obligations ~opts:vopts task in
       let reports = Dispatch.prove_all dispatcher obligations in
@@ -119,6 +130,12 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
     { method_name = task.Gcl.Desugar.task_name;
       obligations = attempt 0 [] }
   in
+  let verify_task task =
+    Trace.with_span ~cat:"verify"
+      ~args:(fun () -> [ ("method", Trace.S task.Gcl.Desugar.task_name) ])
+      "method"
+      (fun () -> verify_task task)
+  in
   let methods = Dispatch.Pool.map_opt pool verify_task tasks in
   Option.iter Dispatch.Pool.shutdown pool;
   let ok =
@@ -133,7 +150,13 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
 let verify_files ?(opts = default_options ()) (paths : string list) :
     program_report =
   let prog =
-    List.concat_map (fun p -> Javaparser.Jparser.parse_program_file p) paths
+    Trace.with_span ~cat:"frontend"
+      ~args:(fun () -> [ ("files", Trace.I (List.length paths)) ])
+      "parse"
+      (fun () ->
+        List.concat_map
+          (fun p -> Javaparser.Jparser.parse_program_file p)
+          paths)
   in
   verify_program ~opts prog
 

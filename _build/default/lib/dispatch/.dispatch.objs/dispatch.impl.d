@@ -1,1 +1,1 @@
-lib/dispatch/dispatch.ml: Atomic Cache Float Form Format Hashtbl Instantiate List Logic Mutex Pool Printexc Printf Sequent Simplify Thread Typecheck Unix
+lib/dispatch/dispatch.ml: Atomic Cache Float Form Format Hashtbl Instantiate List Logic Mutex Option Pool Printexc Printf Sequent Simplify Thread Trace Typecheck Unix

@@ -1,1 +1,1 @@
-lib/dispatch/cache.ml: Hashtbl Logic Mutex Sequent
+lib/dispatch/cache.ml: Hashtbl Logic Mutex Sequent Trace

@@ -1,1 +1,1 @@
-lib/dispatch/pool.ml: Array Atomic Condition Domain List Mutex
+lib/dispatch/pool.ml: Array Atomic Condition Domain List Mutex Trace

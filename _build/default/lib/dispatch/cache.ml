@@ -38,6 +38,9 @@ let find (c : t) (k : string) : entry option =
   | Some _ -> c.hits <- c.hits + 1
   | None -> c.misses <- c.misses + 1);
   Mutex.unlock c.mutex;
+  (match r with
+  | Some _ -> Trace.incr "cache.hit"
+  | None -> Trace.incr "cache.miss");
   r
 
 let add (c : t) (k : string) (e : entry) : unit =

@@ -33,6 +33,7 @@ type report = {
   sequent : Sequent.t;
   verdict : Sequent.verdict;
   prover : string option; (* which prover settled it *)
+  cached : bool; (* true when the verdict came from the cache *)
 }
 
 type t = {
@@ -78,9 +79,16 @@ let with_budget ~(budget_s : float) (p : Sequent.prover) : Sequent.prover =
           match Atomic.get result with
           | Some v -> v
           | None ->
-            if Unix.gettimeofday () >= deadline then
+            if Unix.gettimeofday () >= deadline then begin
+              Trace.incr "budget.exceeded";
+              Trace.instant ~cat:"budget"
+                ~args:(fun () ->
+                  [ ("prover", Trace.S p.Sequent.prover_name);
+                    ("budget_s", Trace.F budget_s) ])
+                "exceeded";
               Sequent.Unknown
                 (Printf.sprintf "budget of %gs exceeded" budget_s)
+            end
             else begin
               Thread.delay delay;
               wait (Float.min (delay *. 2.) 0.01)
@@ -162,17 +170,17 @@ let syntactic (s : Sequent.t) : Sequent.verdict option =
 (* the portfolio run proper, after the cache has been consulted *)
 let prove_uncached (d : t) (s : Sequent.t) : report =
   let s =
-    if d.simplify_first then begin
-      (* joint type inference resolves <=, < and - between sets *)
-      let s =
-        match Typecheck.check_formula (Sequent.to_form s) with
-        | f -> Sequent.of_form ~name:s.Sequent.name f
-        | exception Typecheck.Type_error _ -> s
-      in
-      { s with
-        Sequent.hyps = List.map Simplify.simplify s.Sequent.hyps;
-        goal = Simplify.simplify s.Sequent.goal }
-    end
+    if d.simplify_first then
+      Trace.with_span ~cat:"dispatch" "simplify" (fun () ->
+          (* joint type inference resolves <=, < and - between sets *)
+          let s =
+            match Typecheck.check_formula (Sequent.to_form s) with
+            | f -> Sequent.of_form ~name:s.Sequent.name f
+            | exception Typecheck.Type_error _ -> s
+          in
+          { s with
+            Sequent.hyps = List.map Simplify.simplify s.Sequent.hyps;
+            goal = Simplify.simplify s.Sequent.goal })
     else s
   in
   let s =
@@ -181,26 +189,27 @@ let prove_uncached (d : t) (s : Sequent.t) : report =
     else s
   in
   match syntactic s with
-  | Some v -> { sequent = s; verdict = v; prover = Some "syntactic" }
+  | Some v -> { sequent = s; verdict = v; prover = Some "syntactic"; cached = false }
   | None ->
     let s =
-      if d.ground_saturate then begin
-        try
-          let s' = Instantiate.saturate s in
-          (* keep the saturated sequent connected to the goal *)
-          if d.filter_assumptions then
-            { s' with
-              Sequent.hyps = relevant_hyps s'.Sequent.hyps s'.Sequent.goal }
-          else s'
-        with _ -> s
-      end
+      if d.ground_saturate then
+        Trace.with_span ~cat:"dispatch" "saturate" (fun () ->
+            try
+              let s' = Instantiate.saturate s in
+              (* keep the saturated sequent connected to the goal *)
+              if d.filter_assumptions then
+                { s' with
+                  Sequent.hyps = relevant_hyps s'.Sequent.hyps s'.Sequent.goal }
+              else s'
+            with _ -> s)
       else s
     in
     let rec try_provers = function
       | [] ->
         { sequent = s;
           verdict = Sequent.Unknown "no prover settled the goal";
-          prover = None }
+          prover = None;
+          cached = false }
       | (p : Sequent.prover) :: rest -> (
         bump_stats d p.Sequent.prover_name (fun st ->
             st.attempts <- st.attempts + 1);
@@ -208,35 +217,75 @@ let prove_uncached (d : t) (s : Sequent.t) : report =
         | Sequent.Valid ->
           bump_stats d p.Sequent.prover_name (fun st ->
               st.proved <- st.proved + 1);
-          { sequent = s; verdict = Sequent.Valid; prover = Some p.Sequent.prover_name }
+          { sequent = s;
+            verdict = Sequent.Valid;
+            prover = Some p.Sequent.prover_name;
+            cached = false }
         | Sequent.Invalid m ->
           bump_stats d p.Sequent.prover_name (fun st ->
               st.refuted <- st.refuted + 1);
           { sequent = s;
             verdict = Sequent.Invalid m;
-            prover = Some p.Sequent.prover_name }
+            prover = Some p.Sequent.prover_name;
+            cached = false }
         | Sequent.Unknown _ -> try_provers rest
         | exception _ -> try_provers rest)
     in
     try_provers d.provers
 
-(** Prove one sequent with the portfolio, consulting the verdict cache
-    first.  The cache key is computed on the incoming sequent, before any
-    simplification, so a repeated obligation costs one canonicalization
-    and nothing else. *)
-let prove_sequent (d : t) (s : Sequent.t) : report =
+(* the cache-consulting path, without the obligation span *)
+let prove_sequent_inner (d : t) (s : Sequent.t) : report =
   match d.cache with
   | None -> prove_uncached d s
   | Some cache -> (
     let k = Cache.key s in
     match Cache.find cache k with
     | Some e ->
-      { sequent = s; verdict = e.Cache.verdict; prover = e.Cache.prover }
+      { sequent = s;
+        verdict = e.Cache.verdict;
+        prover = e.Cache.prover;
+        cached = true }
     | None ->
       let r = prove_uncached d s in
-      Cache.add cache k
-        { Cache.verdict = r.verdict; prover = r.prover };
+      (* only settled verdicts are cacheable: an [Unknown] depends on the
+         portfolio composition and per-prover budgets in force at the
+         time, so replaying it would mask a later, better-resourced
+         attempt from succeeding *)
+      (match r.verdict with
+      | Sequent.Valid | Sequent.Invalid _ ->
+        Cache.add cache k { Cache.verdict = r.verdict; prover = r.prover }
+      | Sequent.Unknown _ -> Trace.incr "cache.unknown_not_cached");
       r)
+
+(** Prove one sequent with the portfolio, consulting the verdict cache
+    first.  The cache key is computed on the incoming sequent, before any
+    simplification, so a repeated obligation costs one canonicalization
+    and nothing else.  Only [Valid]/[Invalid] verdicts are cached —
+    [Unknown] depends on budgets and portfolio order, so it is re-attempted
+    on every call. *)
+let prove_sequent (d : t) (s : Sequent.t) : report =
+  if not (Trace.enabled ()) then prove_sequent_inner d s
+  else begin
+    let sp =
+      Trace.start_span ~cat:"obligation"
+        ~args:(fun () -> [ ("name", Trace.S s.Sequent.name) ])
+        "prove"
+    in
+    match prove_sequent_inner d s with
+    | r ->
+      Trace.finish_span
+        ~args:(fun () ->
+          [ ("verdict", Trace.S (Sequent.verdict_kind r.verdict));
+            ("prover", Trace.S (Option.value r.prover ~default:"-"));
+            ("cache", Trace.S (if r.cached then "hit" else "miss")) ])
+        sp;
+      r
+    | exception e ->
+      Trace.finish_span
+        ~args:(fun () -> [ ("raised", Trace.S (Printexc.to_string e)) ])
+        sp;
+      raise e
+  end
 
 (** Prove a list of obligations; returns individual reports in input
     order.  When the dispatcher holds a pool, obligations are claimed by

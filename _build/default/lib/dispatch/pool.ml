@@ -90,8 +90,22 @@ let map (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
     let n = Array.length arr in
     let results : ('b, exn) result option array = Array.make n None in
     let batch = { tasks = [||]; next = Atomic.make 0; pending = n } in
+    let published = Trace.now_s () in
     let run i () =
-      let r = try Ok (f arr.(i)) with e -> Error e in
+      let r =
+        if not (Trace.enabled ()) then (try Ok (f arr.(i)) with e -> Error e)
+        else begin
+          (* time from batch publication to a worker picking the task up:
+             queue pressure under the domain pool *)
+          let wait_s = Trace.now_s () -. published in
+          Trace.observe "pool.queue_wait_s" wait_s;
+          Trace.with_span ~cat:"pool"
+            ~args:(fun () ->
+              [ ("index", Trace.I i); ("queue_wait_s", Trace.F wait_s) ])
+            "task"
+            (fun () -> try Ok (f arr.(i)) with e -> Error e)
+        end
+      in
       results.(i) <- Some r;
       Mutex.lock p.mutex;
       batch.pending <- batch.pending - 1;

@@ -381,4 +381,5 @@ let prove (s : Sequent.t) : Sequent.verdict =
     Sequent.Invalid "MONA route: word-model countermodel"
   | exception Not_applicable what -> Sequent.Unknown ("MONA route: " ^ what)
 
-let prover : Sequent.prover = { prover_name = "mona"; prove }
+let prover : Sequent.prover =
+  Sequent.traced_prover { prover_name = "mona"; prove }

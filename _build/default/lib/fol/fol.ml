@@ -632,4 +632,5 @@ let infer_set_vars (s : Sequent.t) : string list =
 let prove (s : Sequent.t) : Sequent.verdict =
   prove_with ~set_vars:(infer_set_vars s) s
 
-let prover : Sequent.prover = { prover_name = "fol"; prove }
+let prover : Sequent.prover =
+  Sequent.traced_prover { prover_name = "fol"; prove }

@@ -1,1 +1,1 @@
-lib/logic/pprint.ml: Form Format List String
+lib/logic/pprint.ml: Buffer Form Format Ftype List String

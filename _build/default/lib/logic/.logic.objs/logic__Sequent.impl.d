@@ -1,1 +1,1 @@
-lib/logic/sequent.ml: Buffer Digest Form Format List Pprint String
+lib/logic/sequent.ml: Buffer Digest Form Format List Pprint Printexc String Trace

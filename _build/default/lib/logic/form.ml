@@ -137,6 +137,8 @@ let mk_impl a b =
 let mk_iff a b =
   if is_true a then b
   else if is_true b then a
+  else if is_false a then mk_not b
+  else if is_false b then mk_not a
   else App (Const Iff, [ a; b ])
 
 let mk_ite c a b = App (Const Ite, [ c; a; b ])
@@ -291,15 +293,18 @@ let rec subst (map : t Smap.t) f =
 let subst1 x g f = subst (Smap.singleton x g) f
 
 (** Alpha-normalization: every bound variable is renamed to a canonical
-    name determined only by its binding depth ([?b0], [?b1], ...), and type
-    annotations are stripped.  Alpha-equivalent formulas normalize to
-    structurally identical trees, so their printed forms — and hence their
-    digests — coincide.  The [?] prefix cannot clash with source-level
-    identifiers: no parser produces it. *)
-let alpha_normalize f =
+    name determined only by its binding depth ([?b0], [?b1], ...).  Type
+    annotations are stripped by default; [~keep_types:true] preserves them
+    (the verdict-cache digest needs sorts, or [ALL x::int] and
+    [ALL x::obj] obligations would collide).  Alpha-equivalent formulas
+    normalize to structurally identical trees, so their printed forms —
+    and hence their digests — coincide.  The [?] prefix cannot clash with
+    source-level identifiers: no parser produces it. *)
+let alpha_normalize ?(keep_types = false) f =
   let rec go (env : ident Smap.t) (depth : int) f =
     match f with
-    | TypedForm (g, _) -> go env depth g
+    | TypedForm (g, ty) ->
+      if keep_types then TypedForm (go env depth g, ty) else go env depth g
     | Var x -> ( match Smap.find_opt x env with Some y -> Var y | None -> f)
     | Const _ -> f
     | App (g, args) -> App (go env depth g, List.map (go env depth) args)

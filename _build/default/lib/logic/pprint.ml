@@ -172,3 +172,136 @@ and paren cond ppf k =
 
 let pp ppf f = Format.fprintf ppf "@[<hov 2>%a@]" (pp_prec 0) f
 let to_string f = Format.asprintf "%a" pp f
+
+(* ------------------------------------------------------------------ *)
+(* Canonical printing (verdict-cache keys)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The surface printer above is NOT injective: [Le]/[Subseteq] both render
+   as "<=", [Lt]/[Subset] as "<", [Minus]/[Diff] as "-" (the parser
+   re-disambiguates through type inference), and binder sorts are never
+   printed.  A digest keyed on surface strings can therefore hand an
+   integer obligation the cached verdict of a set obligation.  The
+   canonical printer gives every constant its own tag, parenthesizes
+   fully, and prints binder sorts — with type-unification variables
+   rendered uniformly as "_", so two parses of the same text (whose fresh
+   [Tvar] indices differ) still print identically. *)
+
+let canonical_const_tag = function
+  | BoolLit true -> "true"
+  | BoolLit false -> "false"
+  | IntLit n -> string_of_int n
+  | Null -> "null"
+  | Not -> "not"
+  | And -> "and"
+  | Or -> "or"
+  | Impl -> "impl"
+  | Iff -> "iff"
+  | Ite -> "ite"
+  | Eq -> "eq"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Plus -> "plus"
+  | Minus -> "minus"
+  | Uminus -> "uminus"
+  | Mult -> "mult"
+  | Div -> "div"
+  | Mod -> "mod"
+  | EmptySet -> "empty"
+  | UnivSet -> "univ"
+  | FiniteSet -> "finset"
+  | Union -> "union"
+  | Inter -> "inter"
+  | Diff -> "setdiff"
+  | Elem -> "elem"
+  | Subseteq -> "subseteq"
+  | Subset -> "subset"
+  | Card -> "card"
+  | FieldRead -> "fieldRead"
+  | FieldWrite -> "fieldWrite"
+  | ArrayRead -> "arrayRead"
+  | ArrayWrite -> "arrayWrite"
+  | Rtrancl -> "rtrancl"
+  | Tree -> "tree"
+  | Old -> "old"
+
+let canonical_binder_tag = function
+  | Forall -> "all"
+  | Exists -> "ex"
+  | Lambda -> "lam"
+  | Comprehension -> "setof"
+
+let rec canonical_sort buf (ty : Ftype.t) =
+  match ty with
+  | Ftype.Bool -> Buffer.add_string buf "bool"
+  | Ftype.Int -> Buffer.add_string buf "int"
+  | Ftype.Obj -> Buffer.add_string buf "obj"
+  | Ftype.Set e ->
+    Buffer.add_string buf "(set ";
+    canonical_sort buf e;
+    Buffer.add_char buf ')'
+  | Ftype.Arrow (a, r) ->
+    Buffer.add_string buf "(fn ";
+    canonical_sort buf a;
+    Buffer.add_char buf ' ';
+    canonical_sort buf r;
+    Buffer.add_char buf ')'
+  | Ftype.Tuple ts ->
+    Buffer.add_string buf "(tup";
+    List.iter
+      (fun t ->
+        Buffer.add_char buf ' ';
+        canonical_sort buf t)
+      ts;
+    Buffer.add_char buf ')'
+  | Ftype.Tvar _ -> Buffer.add_char buf '_'
+
+let rec canonical buf f =
+  match f with
+  | Var x -> Buffer.add_string buf x
+  | Const c ->
+    (* '#' keeps constant tags disjoint from variable names *)
+    Buffer.add_char buf '#';
+    Buffer.add_string buf (canonical_const_tag c)
+  | App (g, args) ->
+    Buffer.add_char buf '(';
+    canonical buf g;
+    List.iter
+      (fun a ->
+        Buffer.add_char buf ' ';
+        canonical buf a)
+      args;
+    Buffer.add_char buf ')'
+  | Binder (b, vars, body) ->
+    Buffer.add_string buf "(#";
+    Buffer.add_string buf (canonical_binder_tag b);
+    Buffer.add_string buf " (";
+    List.iteri
+      (fun i (x, ty) ->
+        if i > 0 then Buffer.add_char buf ' ';
+        Buffer.add_char buf '(';
+        Buffer.add_string buf x;
+        Buffer.add_char buf ' ';
+        canonical_sort buf ty;
+        Buffer.add_char buf ')')
+      vars;
+    Buffer.add_string buf ") ";
+    canonical buf body;
+    Buffer.add_char buf ')'
+  | TypedForm (g, ty) ->
+    Buffer.add_string buf "(#:: ";
+    canonical buf g;
+    Buffer.add_char buf ' ';
+    canonical_sort buf ty;
+    Buffer.add_char buf ')'
+
+(** Unambiguous printing for cache digests: injective on
+    alpha-normalized formulas (distinct constants get distinct tags,
+    applications are fully parenthesized, binder sorts are printed).
+    Unlike {!to_string}, this output is not meant to be parsed back. *)
+let to_canonical_string f =
+  let buf = Buffer.create 256 in
+  canonical buf f;
+  Buffer.contents buf

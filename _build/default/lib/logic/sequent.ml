@@ -37,36 +37,42 @@ let of_form ?(name = "goal") (f : Form.t) : t =
 (* ------------------------------------------------------------------ *)
 
 (** Canonical form for caching: every hypothesis and the goal are
-    alpha-normalized (bound variables renamed by binding depth, type
-    annotations stripped), then the hypotheses are sorted and deduplicated
-    by their printed form.  Two sequents that differ only in hypothesis
-    order or bound-variable names canonicalize identically. *)
+    alpha-normalized (bound variables renamed by binding depth, sorts and
+    type annotations preserved), then the hypotheses are sorted and
+    deduplicated by their canonical printing.  Two sequents that differ
+    only in hypothesis order or bound-variable names canonicalize
+    identically. *)
 let canonicalize (s : t) : t =
   let keyed =
     List.map
       (fun h ->
-        let h = Form.alpha_normalize h in
-        (Pprint.to_string h, h))
+        let h = Form.alpha_normalize ~keep_types:true h in
+        (Pprint.to_canonical_string h, h))
       s.hyps
   in
   let keyed =
     List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) keyed
   in
-  { s with hyps = List.map snd keyed; goal = Form.alpha_normalize s.goal }
+  { s with
+    hyps = List.map snd keyed;
+    goal = Form.alpha_normalize ~keep_types:true s.goal }
 
 (** A stable key for the canonicalized sequent: the MD5 digest of its
-    printed form.  [name] does not participate — obligations regenerated
-    under different labels still collide, which is the point. *)
+    {e canonical} printing ({!Pprint.to_canonical_string} — the surface
+    printer is ambiguous between integer and set operators, so keying on
+    it could return a cached verdict for the wrong obligation).  [name]
+    does not participate — obligations regenerated under different labels
+    still collide, which is the point. *)
 let digest (s : t) : string =
   let c = canonicalize s in
   let buf = Buffer.create 256 in
   List.iter
     (fun h ->
-      Buffer.add_string buf (Pprint.to_string h);
+      Buffer.add_string buf (Pprint.to_canonical_string h);
       Buffer.add_char buf '\n')
     c.hyps;
   Buffer.add_string buf "|-";
-  Buffer.add_string buf (Pprint.to_string c.goal);
+  Buffer.add_string buf (Pprint.to_canonical_string c.goal);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let pp ppf (s : t) =
@@ -80,3 +86,43 @@ let verdict_to_string = function
   | Valid -> "valid"
   | Invalid m -> "invalid (" ^ m ^ ")"
   | Unknown m -> "unknown (" ^ m ^ ")"
+
+(** Just the constructor tag, for trace attribution and stats keys. *)
+let verdict_kind = function
+  | Valid -> "valid"
+  | Invalid _ -> "invalid"
+  | Unknown _ -> "unknown"
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Wrap a prover so that every [prove] call becomes a trace span
+    (category ["prover"], name = the prover's name) carrying the query
+    size on entry and the verdict on exit.  Costs one atomic load per
+    call while tracing is disabled. *)
+let traced_prover (p : prover) : prover =
+  { p with
+    prove =
+      (fun s ->
+        if not (Trace.enabled ()) then p.prove s
+        else begin
+          let sp =
+            Trace.start_span ~cat:"prover"
+              ~args:(fun () ->
+                [ ("size", Trace.I (Form.size (to_form s)));
+                  ("hyps", Trace.I (List.length s.hyps)) ])
+              p.prover_name
+          in
+          match p.prove s with
+          | v ->
+            Trace.finish_span
+              ~args:(fun () -> [ ("verdict", Trace.S (verdict_kind v)) ])
+              sp;
+            v
+          | exception e ->
+            Trace.finish_span
+              ~args:(fun () -> [ ("raised", Trace.S (Printexc.to_string e)) ])
+              sp;
+            raise e
+        end) }

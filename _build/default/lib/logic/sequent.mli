@@ -29,14 +29,26 @@ val to_form : t -> Form.t
 val of_form : ?name:string -> Form.t -> t
 
 (** Canonical form for verdict caching: alpha-normalized hypotheses and
-    goal, hypotheses sorted and deduplicated by printed form. *)
+    goal (binder sorts preserved), hypotheses sorted and deduplicated by
+    their canonical printing. *)
 val canonicalize : t -> t
 
-(** Stable cache key: MD5 of the canonicalized sequent's printed form.
-    Invariant under hypothesis reordering, duplicate hypotheses,
-    bound-variable renaming and type annotations; the [name] field is
-    ignored. *)
+(** Stable cache key: MD5 of the canonicalized sequent's {e canonical}
+    printing ({!Pprint.to_canonical_string}).  Invariant under hypothesis
+    reordering, duplicate hypotheses and bound-variable renaming; the
+    [name] field is ignored.  Distinct operators that share surface syntax
+    ([<=] vs subset-or-equal, [-] vs set difference) and binders that
+    differ only in sort produce distinct keys — the surface printer is
+    ambiguous on both, which made it unsound as a cache key. *)
 val digest : t -> string
 
 val pp : Format.formatter -> t -> unit
 val verdict_to_string : verdict -> string
+
+(** Just the constructor tag: ["valid"], ["invalid"] or ["unknown"]. *)
+val verdict_kind : verdict -> string
+
+(** Wrap a prover so every [prove] call becomes a trace span (category
+    ["prover"], name = the prover's name) carrying query size on entry and
+    the verdict on exit.  One atomic load per call when tracing is off. *)
+val traced_prover : prover -> prover

@@ -92,12 +92,9 @@ let rec rewrite_step f =
     else if equal a b then Some mk_true
     else None
   | App (Const Iff, [ a; b ]) ->
-    if is_true a then Some b
-    else if is_true b then Some a
-    else if is_false a then Some (mk_not b)
-    else if is_false b then Some (mk_not a)
-    else if equal a b then Some mk_true
-    else None
+    (* [mk_iff] folds all four boolean-constant cases; only the
+       alpha-equality collapse is extra knowledge here *)
+    if equal a b then Some mk_true else simple_change (mk_iff a b) f
   | App (Const Ite, [ c; a; b ]) ->
     if is_true c then Some a
     else if is_false c then Some b

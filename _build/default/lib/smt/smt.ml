@@ -715,4 +715,5 @@ let prove (s : Sequent.t) : Sequent.verdict =
   | exception Out_of_fragment ->
     Sequent.Unknown "formula outside the SMT fragment"
 
-let prover : Sequent.prover = { prover_name = "smt"; prove }
+let prover : Sequent.prover =
+  Sequent.traced_prover { prover_name = "smt"; prove }

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Atomic Buffer Char Domain Float Format Fun Hashtbl Json List Mutex Option Printexc Printf Stdlib String Thread Unix

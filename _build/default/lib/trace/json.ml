@@ -1,0 +1,203 @@
+(** A minimal JSON reader, used to validate the trace sinks.
+
+    The tracer emits JSON; something in the tree must be able to read it
+    back, or the golden tests and [jahob trace-check] would be trusting
+    the writer to check itself.  This is a plain recursive-descent parser
+    over the full JSON grammar (RFC 8259) minus the parts the trace
+    format never produces: [\uXXXX] escapes are validated but decoded as
+    ['?'], and numbers are held as [float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string * int  (** message, byte offset *)
+
+let fail pos msg = raise (Error (msg, pos))
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st.pos (Printf.sprintf "expected %c, found %c" c c')
+  | None -> fail st.pos (Printf.sprintf "expected %c, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos (Printf.sprintf "expected %s" word)
+
+let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st.pos "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+      | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+      | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
+      | Some 'b' -> advance st; Buffer.add_char buf '\b'; go ()
+      | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
+      | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+      | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+      | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+      | Some 'u' ->
+        advance st;
+        for _ = 1 to 4 do
+          match peek st with
+          | Some c when is_hex c -> advance st
+          | _ -> fail st.pos "invalid \\u escape"
+        done;
+        Buffer.add_char buf '?';
+        go ()
+      | _ -> fail st.pos "invalid escape")
+    | Some c when Char.code c < 0x20 -> fail st.pos "control character in string"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let consume_digits () =
+    let had = ref false in
+    let rec go () =
+      match peek st with
+      | Some '0' .. '9' ->
+        had := true;
+        advance st;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    if not !had then fail st.pos "expected digit"
+  in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  (* integer part: a lone 0, or [1-9] digits — no leading zeros *)
+  (match peek st with
+  | Some '0' -> (
+    advance st;
+    match peek st with
+    | Some '0' .. '9' -> fail st.pos "leading zero in number"
+    | _ -> ())
+  | _ -> consume_digits ());
+  (match peek st with
+  | Some '.' ->
+    advance st;
+    consume_digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    consume_digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some x -> Num x
+  | None -> fail start ("bad number: " ^ text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          advance st;
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> fail st.pos "expected , or } in object"
+      in
+      members []
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements (v :: acc)
+        | Some ']' ->
+          advance st;
+          Arr (List.rev (v :: acc))
+        | _ -> fail st.pos "expected , or ] in array"
+      in
+      elements []
+    end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st.pos (Printf.sprintf "unexpected character %c" c)
+
+(** Parse a complete JSON document; trailing garbage is an error. *)
+let parse (s : string) : t =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st.pos "trailing characters";
+  v
+
+let parse_opt (s : string) : t option =
+  match parse s with v -> Some v | exception Error _ -> None
+
+(** Object field lookup; [None] on non-objects and missing keys. *)
+let member (key : string) (v : t) : t option =
+  match v with Obj kvs -> List.assoc_opt key kvs | _ -> None

@@ -134,5 +134,18 @@ let split_vc ?(name = "vc") (f : Form.t) : Sequent.t list =
 (** End-to-end: desugared method task to labeled obligations. *)
 let method_obligations ?(opts = default_options)
     (task : Gcl.Desugar.method_task) : Sequent.t list =
-  let f = vc ~opts task.Gcl.Desugar.task_command in
-  split_vc ~name:task.Gcl.Desugar.task_name f
+  let name = task.Gcl.Desugar.task_name in
+  let f =
+    Trace.with_span ~cat:"vcgen"
+      ~args:(fun () -> [ ("method", Trace.S name) ])
+      "wp"
+      (fun () -> vc ~opts task.Gcl.Desugar.task_command)
+  in
+  let obligations =
+    Trace.with_span ~cat:"vcgen"
+      ~args:(fun () -> [ ("method", Trace.S name) ])
+      "split"
+      (fun () -> split_vc ~name f)
+  in
+  Trace.add "vcgen.obligations" (List.length obligations);
+  obligations

@@ -1,1 +1,1 @@
-test/main.ml: Alcotest Test_arith Test_bapa Test_dispatch Test_euf Test_fca Test_fol Test_javaparser Test_logic Test_misc Test_mona Test_sat Test_semantics Test_smt Test_system
+test/main.ml: Alcotest Test_arith Test_bapa Test_dispatch Test_euf Test_fca Test_fol Test_javaparser Test_logic Test_misc Test_mona Test_sat Test_semantics Test_smt Test_system Test_trace

@@ -1,1 +1,1 @@
-test/test_dispatch.ml: Alcotest Dispatch Jahob_core Javaparser List Logic Parser Printf Sequent Smt String Sys Thread
+test/test_dispatch.ml: Alcotest Dispatch Form Jahob_core Javaparser List Logic Parser Printf Sequent Smt String Sys Thread

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Dispatch Domain Filename List Logic Parser Printf Sequent Smt String Sys Thread Trace

@@ -87,6 +87,37 @@ let test_canonicalize_dedups () =
   Alcotest.(check int) "duplicate hypotheses collapse" 2
     (List.length c.Sequent.hyps)
 
+(* regression: the surface printer renders Le/Subseteq as [<=], Lt/Subset
+   as [<] and Minus/Diff as [-].  Digests are computed before typechecking
+   resolves the surface form, so keying the cache on the ambiguous
+   printing returned cached verdicts for the wrong obligation. *)
+let test_digest_set_vs_int_ops () =
+  let open Form in
+  let check_distinct label c1 c2 =
+    let mk c = Sequent.make [] (App (Const c, [ Var "x"; Var "y" ])) in
+    Alcotest.(check bool) label false
+      (Sequent.digest (mk c1) = Sequent.digest (mk c2))
+  in
+  check_distinct "Le vs Subseteq" Le Subseteq;
+  check_distinct "Lt vs Subset" Lt Subset;
+  let mk c = Sequent.make [] (mk_eq (App (Const c, [ Var "x"; Var "y" ])) (Var "z")) in
+  Alcotest.(check bool) "Minus vs Diff" false
+    (Sequent.digest (mk Minus) = Sequent.digest (mk Diff))
+
+(* regression: alpha-normalization stripped type annotations, so two
+   obligations differing only in a binder's sort collided *)
+let test_digest_binder_sorts () =
+  let a = seq [] "ALL (x::int). x = x" in
+  let b = seq [] "ALL (x::obj). x = x" in
+  Alcotest.(check bool) "binder sorts distinguish keys" false
+    (Sequent.digest a = Sequent.digest b);
+  (* unannotated binders carry unification variables whose indices differ
+     per parse; they must still collide with themselves *)
+  let c = seq [] "ALL x. x = x" in
+  let d = seq [] "ALL y. y = y" in
+  Alcotest.(check string) "unannotated binders still alpha-collapse"
+    (Sequent.digest c) (Sequent.digest d)
+
 (* ------------------------------------------------------------------ *)
 (* Verdict cache                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -116,6 +147,35 @@ let test_cache_hit () =
   let k = Dispatch.Cache.counters cache in
   Alcotest.(check int) "two hits" 2 k.Dispatch.Cache.hit_count;
   Alcotest.(check int) "one miss" 1 k.Dispatch.Cache.miss_count
+
+(* a prover that gives up on its first call and succeeds on the second *)
+let unknown_then_valid (count : int ref) : Sequent.prover =
+  { Sequent.prover_name = "flaky";
+    prove =
+      (fun _ ->
+        incr count;
+        if !count = 1 then Sequent.Unknown "first try" else Sequent.Valid) }
+
+let test_unknown_not_cached () =
+  let count = ref 0 in
+  let cache = Dispatch.Cache.create () in
+  let d = Dispatch.create ~cache [ unknown_then_valid count ] in
+  let s = seq [ "x < y" ] "p..g = q" in
+  let r1 = Dispatch.prove_sequent d s in
+  Alcotest.(check string) "first attempt gives up" "unknown"
+    (Sequent.verdict_kind r1.Dispatch.verdict);
+  (* an unknown verdict reflects this run's budgets and portfolio, so it
+     must not be replayed from the cache *)
+  let r2 = Dispatch.prove_sequent d s in
+  Alcotest.(check string) "second attempt re-proves" "valid"
+    (Sequent.verdict_kind r2.Dispatch.verdict);
+  Alcotest.(check int) "prover ran both times" 2 !count;
+  Alcotest.(check bool) "second report not from the cache" false
+    r2.Dispatch.cached;
+  (* the settled verdict is cached as before *)
+  let r3 = Dispatch.prove_sequent d s in
+  Alcotest.(check bool) "third is a cache hit" true r3.Dispatch.cached;
+  Alcotest.(check int) "prover not re-run after settling" 2 !count
 
 let test_cache_bypass () =
   (* no cache: every repetition reaches the portfolio (--no-cache) *)
@@ -261,7 +321,13 @@ let suite =
           test_digest_name_irrelevant;
         Alcotest.test_case "canonicalize dedups hyps" `Quick
           test_canonicalize_dedups;
+        Alcotest.test_case "digest: set vs int operators" `Quick
+          test_digest_set_vs_int_ops;
+        Alcotest.test_case "digest: binder sorts" `Quick
+          test_digest_binder_sorts;
         Alcotest.test_case "cache hit settles once" `Quick test_cache_hit;
+        Alcotest.test_case "unknown verdicts not cached" `Quick
+          test_unknown_not_cached;
         Alcotest.test_case "no cache re-proves" `Quick test_cache_bypass;
         Alcotest.test_case "parallel matches sequential" `Quick
           test_parallel_matches_sequential;

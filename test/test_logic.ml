@@ -310,6 +310,25 @@ let test_simplify_field () =
     (parse "if y = x then v = z else y..f = z")
     (simp "fieldRead (fieldWrite f x v) y = z")
 
+let test_mk_iff () =
+  let a = parse "a = b" in
+  Alcotest.check form "true <-> f" a (Form.mk_iff Form.mk_true a);
+  Alcotest.check form "f <-> true" a (Form.mk_iff a Form.mk_true);
+  Alcotest.check form "false <-> f" (Form.mk_not a)
+    (Form.mk_iff Form.mk_false a);
+  Alcotest.check form "f <-> false" (Form.mk_not a)
+    (Form.mk_iff a Form.mk_false);
+  Alcotest.check form "false <-> false" Form.mk_true
+    (Form.mk_iff Form.mk_false Form.mk_false);
+  (* the rewriter agrees with the smart constructor *)
+  let simp s = Simplify.simplify (parse s) in
+  Alcotest.check form "simplify False <-> f" (Form.mk_not a)
+    (simp "False <-> a = b");
+  Alcotest.check form "simplify f <-> False" (Form.mk_not a)
+    (simp "a = b <-> False");
+  Alcotest.check form "simplify True <-> f" a (simp "True <-> a = b");
+  Alcotest.check form "simplify f <-> f" Form.mk_true (simp "a = b <-> a = b")
+
 let test_nnf () =
   let n s = Simplify.nnf (parse s) in
   Alcotest.check form "de morgan and" (parse "a ~= b | c ~= d")
@@ -415,6 +434,54 @@ let prop_size_positive =
     arb_form (fun f ->
       Form.size f > 0 && Form.size (Form.App (Const Not, [ f ])) > Form.size f)
 
+(* the surface printer renders Le/Subseteq, Lt/Subset and Minus/Diff with
+   one token each — by design, since it prints parseable Isabelle-subset
+   syntax.  The canonical printer must separate every such homograph pair,
+   whatever the operands, or cache keys collide. *)
+let prop_canonical_separates_homographs =
+  QCheck.Test.make
+    ~name:"canonical printing separates <=/</- homographs" ~count:200
+    QCheck.(pair arb_form arb_form)
+    (fun (a, b) ->
+      List.for_all
+        (fun (c1, c2) ->
+          let f1 = Form.App (Form.Const c1, [ a; b ]) in
+          let f2 = Form.App (Form.Const c2, [ a; b ]) in
+          Pprint.to_string f1 = Pprint.to_string f2
+          && Pprint.to_canonical_string f1 <> Pprint.to_canonical_string f2)
+        [ (Form.Le, Form.Subseteq); (Form.Lt, Form.Subset);
+          (Form.Minus, Form.Diff) ])
+
+(* on sort-annotation-free formulas, equal canonical printings must mean
+   exactly alpha-equivalence — no more collisions, no spurious splits *)
+let prop_canonical_faithful =
+  QCheck.Test.make ~name:"canonical printing = alpha-equivalence" ~count:300
+    QCheck.(pair arb_form arb_form)
+    (fun (f, g) ->
+      let canon h =
+        Pprint.to_canonical_string (Form.alpha_normalize ~keep_types:true h)
+      in
+      (canon f = canon g) = Form.equal f g && canon f = canon f)
+
+(* obligations reach the digest as parser output, and re-generating an
+   obligation re-parses the same source: canonical printing must be stable
+   under print/parse for parser-produced formulas.  (The surface syntax
+   drops binder sorts, so each parse mints fresh unification variables —
+   the canonical printer renders them uniformly as [_].) *)
+let prop_canonical_roundtrip_stable =
+  QCheck.Test.make ~name:"canonical printing stable under print/parse"
+    ~count:300 arb_form (fun f ->
+      match Parser.parse_opt (Pprint.to_string f) with
+      | None -> false
+      | Some f1 -> (
+        match Parser.parse_opt (Pprint.to_string f1) with
+        | None -> false
+        | Some f2 ->
+          Pprint.to_canonical_string
+            (Form.alpha_normalize ~keep_types:true f1)
+          = Pprint.to_canonical_string
+              (Form.alpha_normalize ~keep_types:true f2)))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_print_parse_roundtrip;
@@ -422,6 +489,9 @@ let qcheck_tests =
       prop_subst_fv;
       prop_simplify_idempotent;
       prop_size_positive;
+      prop_canonical_separates_homographs;
+      prop_canonical_faithful;
+      prop_canonical_roundtrip_stable;
     ]
 
 let suite =
@@ -451,6 +521,7 @@ let suite =
       [ Alcotest.test_case "set rewriting" `Quick test_simplify_sets;
         Alcotest.test_case "beta reduction" `Quick test_simplify_beta;
         Alcotest.test_case "field read/write" `Quick test_simplify_field;
+        Alcotest.test_case "iff constant folding" `Quick test_mk_iff;
         Alcotest.test_case "nnf" `Quick test_nnf;
         Alcotest.test_case "skolemize" `Quick test_skolemize;
       ] );
