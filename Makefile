@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI should run.
 
-.PHONY: all build test check bench bench-json clean
+.PHONY: all build test check fuzz-smoke bench bench-json clean
 
 all: build
 
@@ -23,6 +23,13 @@ check:
 	  || [ $$? -eq 1 ]
 	dune exec -- jahob trace-check trace_smoke.jsonl
 	rm -f trace_smoke.jsonl
+	$(MAKE) fuzz-smoke
+
+# a short fixed-seed differential fuzz of every fragment: any prover
+# disagreement (or prover-vs-oracle contradiction) exits non-zero
+fuzz-smoke:
+	dune exec -- jahob fuzz --seed 42 --count 40 --size 3
+	dune exec -- jahob fuzz --replay test/corpus
 
 bench:
 	dune exec bench/main.exe

@@ -212,10 +212,132 @@ let trace_check_cmd =
              begin/end spans balance per thread")
     Term.(const run $ trace_file_arg)
 
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed (runs are deterministic)")
+  in
+  let count_arg =
+    Arg.(value & opt int 1000
+         & info [ "count" ] ~docv:"N" ~doc:"Sequents to generate per fragment")
+  in
+  let size_arg =
+    Arg.(value & opt int 3
+         & info [ "size" ] ~docv:"FUEL"
+             ~doc:"Generator fuel; formula node count stays linear in it")
+  in
+  let fragment_arg =
+    Arg.(value & opt (some string) None
+         & info [ "fragment" ] ~docv:"FRAG"
+             ~doc:"Fuzz only this fragment (euf, presburger, bapa, ws1s, \
+                   mixed); default: all")
+  in
+  let fuzz_budget_arg =
+    Arg.(value & opt float 2.0
+         & info [ "budget" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget per prover call (0 disables)")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Write each minimized disagreement to $(docv) as a .seq \
+                   file (replayable regression tests)")
+  in
+  let no_oracle_arg =
+    Arg.(value & flag
+         & info [ "no-oracle" ]
+             ~doc:"Skip the finite-model oracle (prover cross-check only)")
+  in
+  let max_universe_arg =
+    Arg.(value & opt int 3
+         & info [ "max-universe" ] ~docv:"N"
+             ~doc:"Oracle enumerates universes of 1..$(docv) objects")
+  in
+  let int_range_arg =
+    Arg.(value & opt int 4
+         & info [ "int-range" ] ~docv:"N"
+             ~doc:"Oracle enumerates integer values in -$(docv)..$(docv)")
+  in
+  let max_models_arg =
+    Arg.(value & opt int 60_000
+         & info [ "max-models" ] ~docv:"N"
+             ~doc:"Cap on models the oracle enumerates per sequent \
+                   (0 = unlimited)")
+  in
+  let replay_arg =
+    Arg.(value & opt (some dir) None
+         & info [ "replay" ] ~docv:"DIR"
+             ~doc:"Instead of fuzzing, replay every .seq file in $(docv) \
+                   and fail if any disagreement persists")
+  in
+  let run seed count size fragment budget corpus no_oracle max_universe
+      int_range max_models replay =
+    let cfg =
+      { Fuzz.Differ.seed;
+        count;
+        size;
+        budget_s = budget;
+        use_oracle = not no_oracle;
+        max_universe;
+        int_range;
+        max_models = (if max_models <= 0 then None else Some max_models);
+      }
+    in
+    match replay with
+    | Some dir ->
+      let files = Fuzz.Differ.corpus_files dir in
+      let failures =
+        List.filter_map
+          (fun path ->
+            match Fuzz.Differ.replay cfg path with
+            | Ok _ ->
+              Format.printf "replayed %s: agreement@." path;
+              None
+            | Error msg ->
+              Format.eprintf "%s@." msg;
+              Some path)
+          files
+      in
+      Format.printf "replayed %d corpus files, %d failures@."
+        (List.length files) (List.length failures);
+      if failures = [] then 0 else 1
+    | None ->
+      let fragments =
+        match fragment with
+        | None -> Fuzz.Formgen.all_fragments
+        | Some name -> (
+          match Fuzz.Formgen.fragment_of_name name with
+          | Some f -> [ f ]
+          | None -> failwith ("unknown fragment: " ^ name))
+      in
+      let on_finding f =
+        match corpus with
+        | Some dir ->
+          let path = Fuzz.Differ.save_finding ~dir f in
+          Format.printf "wrote %s@." path
+        | None -> ()
+      in
+      let total_findings = ref 0 in
+      List.iter
+        (fun frag ->
+          let r = Fuzz.Differ.run ~on_finding cfg frag in
+          total_findings := !total_findings + List.length r.Fuzz.Differ.findings;
+          Format.printf "%a@." Fuzz.Differ.pp_report r)
+        fragments;
+      if !total_findings = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differentially fuzz the prover portfolio against a \
+             finite-model oracle")
+    Term.(const run $ seed_arg $ count_arg $ size_arg $ fragment_arg
+          $ fuzz_budget_arg $ corpus_arg $ no_oracle_arg $ max_universe_arg
+          $ int_range_arg $ max_models_arg $ replay_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "jahob" ~version:"0.1"
        ~doc:"Modular verification of data structure consistency")
-    [ verify_cmd; vc_cmd; parse_cmd; prove_cmd; trace_check_cmd ]
+    [ verify_cmd; vc_cmd; parse_cmd; prove_cmd; trace_check_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

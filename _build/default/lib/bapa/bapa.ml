@@ -402,6 +402,17 @@ let satisfiable (f : Form.t) : bool =
     if nvars <= 6 then Presburger.Cooper.satisfiable pa
     else reject "translation outside the Omega-conjunctive fragment"
 
+(** Is the sequent's refutand inside the translatable BAPA fragment?
+    (The decision procedure may still give up later — Omega inconclusive
+    on a large Venn system — but such rejections surface as [Unknown].) *)
+let in_fragment (s : Sequent.t) : bool =
+  let refutand =
+    Form.mk_and (s.Sequent.hyps @ [ Form.mk_not s.Sequent.goal ])
+  in
+  match translate refutand with
+  | _ -> true
+  | exception Out_of_fragment _ -> false
+
 (** Prove a sequent in the BAPA fragment. *)
 let prove (s : Sequent.t) : Sequent.verdict =
   match

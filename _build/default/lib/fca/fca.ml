@@ -137,6 +137,23 @@ let note_backbone ctx f =
   | None -> ctx.backbone <- Some f
   | Some g -> if f <> g then reject "two backbone fields: %s and %s" g f
 
+(* Positions beyond null are not objects: every set variable must live
+   inside [{0..null}], and every free object variable at a position
+   [<= null].  Without the set restriction MONA could satisfy [x : u]
+   under a hypothesis forcing [u] empty-as-an-object-set by placing the
+   witness past null (fuzzer finding conflict:fol>mona on
+   [t = u |- EX q. t <= s | q : u]). *)
+let range_hyps ctx : W.t list =
+  List.map (fun x -> W.Pred (W.LeqF (pos_of x, null_pos))) ctx.obj_vars
+  @ List.map
+      (fun x ->
+        W.All1
+          ( "$range",
+            W.Impl
+              ( W.Pred (W.In ("$range", "S_" ^ x)),
+                W.Pred (W.LeqF ("$range", null_pos)) ) ))
+      ctx.set_vars
+
 (* an object term must be a variable or null after simplification *)
 let obj_pos ctx (f : Form.t) : string =
   match Form.strip_types f with
@@ -268,13 +285,8 @@ let translate_sequent (s : Sequent.t) : W.t * string list =
   let ctx = { backbone = None; obj_vars = []; set_vars = [] } in
   let hyps = List.map (trans ctx []) s.Sequent.hyps in
   let goal = trans ctx [] s.Sequent.goal in
-  (* every free object variable denotes a chain position up to null *)
-  let range_hyps =
-    List.map
-      (fun x -> W.Pred (W.LeqF (pos_of x, null_pos)))
-      ctx.obj_vars
-  in
-  let formula = W.Impl (W.And (range_hyps @ hyps), goal) in
+  (* free object variables and set variables live inside {0..null} *)
+  let formula = W.Impl (W.And (range_hyps ctx @ hyps), goal) in
   let fo = null_pos :: List.map pos_of ctx.obj_vars in
   (formula, fo)
 
@@ -350,7 +362,12 @@ let chain_rooted (s : Sequent.t) (obj_vars : string list) : bool =
 
 let max_sequent_size = 400 (* automata products blow up beyond this *)
 
-let prove (s : Sequent.t) : Sequent.verdict =
+(** The full admission pipeline shared by {!prove} and {!in_fragment}:
+    simplification, size limit, field constraint analysis, translation to
+    the word model, and the chain-rootedness side condition.  Returns the
+    WS1S validity question with its first-order variables, or the reason
+    the sequent falls outside the route. *)
+let route_sequent (s : Sequent.t) : (W.t * string list, string) result =
   match
     let s =
       { s with
@@ -364,22 +381,43 @@ let prove (s : Sequent.t) : Sequent.verdict =
     if size > max_sequent_size then reject "sequent too large (%d nodes)" size;
     let s = analyze_sequent s in
     let ctx = { backbone = None; obj_vars = []; set_vars = [] } in
+    (* Sort-driven pre-pass: register every set-typed free variable before
+       any atom translates.  Without it the reading of an equality [s = t]
+       depended on whether a membership atom had already mentioned [s] or
+       [t] — a set equality appearing first was translated as *position*
+       equality, disconnected from the second-order variables, and MONA
+       reported spurious word-model countermodels (fuzzer finding
+       conflict:fol>mona on [t = s |- t <= s]). *)
+    (match Typecheck.infer (Sequent.to_form s) with
+    | _, _, free ->
+      Typecheck.Smap.iter
+        (fun x ty -> match ty with Ftype.Set _ -> note_set ctx x | _ -> ())
+        free
+    | exception Typecheck.Type_error _ -> ());
     let hyps = List.map (trans ctx []) s.Sequent.hyps in
     let goal = trans ctx [] s.Sequent.goal in
-    let range_hyps =
-      List.map (fun x -> W.Pred (W.LeqF (pos_of x, null_pos))) ctx.obj_vars
-    in
-    let formula = W.Impl (W.And (range_hyps @ hyps), goal) in
+    let formula = W.Impl (W.And (range_hyps ctx @ hyps), goal) in
     let fo = null_pos :: List.map pos_of ctx.obj_vars in
     if ctx.backbone <> None && not (chain_rooted s ctx.obj_vars) then
       reject "object variables not rooted in one chain";
-    W.valid ~fo formula
+    (formula, fo)
   with
-  | true -> Sequent.Valid
-  | false ->
-    (* a word countermodel is a genuine singly-linked-list countermodel *)
-    Sequent.Invalid "MONA route: word-model countermodel"
-  | exception Not_applicable what -> Sequent.Unknown ("MONA route: " ^ what)
+  | r -> Ok r
+  | exception Not_applicable what -> Error what
+
+(** Does the sequent lie in the MONA route's fragment (and satisfy its
+    soundness side conditions)? *)
+let in_fragment (s : Sequent.t) : bool =
+  match route_sequent s with Ok _ -> true | Error _ -> false
+
+let prove (s : Sequent.t) : Sequent.verdict =
+  match route_sequent s with
+  | Error what -> Sequent.Unknown ("MONA route: " ^ what)
+  | Ok (formula, fo) ->
+    if W.valid ~fo formula then Sequent.Valid
+    else
+      (* a word countermodel is a genuine singly-linked-list countermodel *)
+      Sequent.Invalid "MONA route: word-model countermodel"
 
 let prover : Sequent.prover =
   Sequent.traced_prover { prover_name = "mona"; prove }

@@ -48,8 +48,18 @@ let clause_vars (c : clause) : string list =
 let rename_clause suffix (c : clause) : clause =
   List.map (fun l -> { l with args = List.map (rename_term suffix) l.args }) c
 
+(* [obj] sort guards are bookkeeping, not search progress: they are
+   excluded from the size/length budgets so that guarded clauses keep the
+   same priority as their unguarded ancestors did *)
 let clause_size (c : clause) =
-  List.fold_left (fun n l -> n + 1 + List.fold_left (fun m t -> m + term_size t) 0 l.args) 0 c
+  List.fold_left
+    (fun n l ->
+      if l.pred = "obj" then n
+      else n + 1 + List.fold_left (fun m t -> m + term_size t) 0 l.args)
+    0 c
+
+let clause_lits (c : clause) =
+  List.fold_left (fun n l -> if l.pred = "obj" then n else n + 1) 0 c
 
 (* direct variable renaming (simultaneous, unlike the triangular [apply]) *)
 let rec map_vars f = function
@@ -61,7 +71,7 @@ let normalize_clause (c : clause) : clause =
   let vars = List.rev (clause_vars c) in
   let tbl = List.mapi (fun i x -> (x, Printf.sprintf "_v%d" i)) vars in
   let f x = match List.assoc_opt x tbl with Some y -> y | None -> x in
-  List.sort compare
+  List.sort_uniq compare
     (List.map (fun l -> { l with args = List.map (map_vars f) l.args }) c)
 
 (* ------------------------------------------------------------------ *)
@@ -213,24 +223,75 @@ let rec clausify_matrix (universals : string list) (f : Form.t) : clause list =
   | Form.Const (Form.BoolLit false) -> [ [] ]
   | g -> [ [ fol_atom universals g ] ]
 
+(* Sort erasure is only sound if object-sorted quantifiers cannot range
+   over the set/field constants of the unsorted encoding: [ALL q::obj. y = q]
+   would otherwise collapse every sort into one class (the fuzzer found
+   exactly this).  Obj-sorted binders are therefore relativized with an
+   [obj] guard predicate; [obj] facts for ground object terms come from
+   {!theory_axioms} and the free-variable units in {!prove_with}.  [Tvar]
+   counts as object-sorted: the rest of the portfolio (and the oracle)
+   grounds unconstrained sorts at objects. *)
+let obj_sorted (ty : Ftype.t) : bool =
+  match ty with Ftype.Obj | Ftype.Tvar _ -> true | _ -> false
+
+let obj_lit sign t = { sign; pred = "obj"; args = [ t ] }
+
 (* skolemize, tracking which variables are universal *)
 let clausify (f : Form.t) : clause list =
   let qs, matrix = Simplify.prenex (Simplify.nnf f) in
-  let rec go universals subs = function
+  let extra = ref [] in
+  let rec go universals guarded subs = function
     | [] ->
       let matrix = Form.subst_list subs matrix in
-      clausify_matrix (List.map fst universals) matrix
-    | (`All, (x, _)) :: rest -> go (universals @ [ (x, ()) ]) subs rest
-    | (`Ex, (x, _)) :: rest ->
+      let cs = clausify_matrix (List.map fst universals) matrix in
+      (* ALL x::obj. C becomes  ~obj(x) | C  for each clause mentioning x
+         (clauses without x need no guard: obj(null) witnesses
+         nonemptiness).  A clause already containing a negative elem
+         literal over x needs no guard either: memberships can be read as
+         false outside the object sort, which satisfies the clause on any
+         off-sort instance — this keeps the pointwise set clauses lean. *)
+      List.map
+        (fun c ->
+          let vs = clause_vars c in
+          let neg_elem_vars =
+            List.concat_map
+              (fun l ->
+                if (not l.sign) && l.pred = "elem" then
+                  List.fold_left term_vars [] l.args
+                else [])
+              c
+          in
+          let guards =
+            List.filter_map
+              (fun x ->
+                if List.mem x vs && not (List.mem x neg_elem_vars) then
+                  Some (obj_lit false (V x))
+                else None)
+              guarded
+          in
+          guards @ c)
+        cs
+    | (`All, (x, ty)) :: rest ->
+      go
+        (universals @ [ (x, ()) ])
+        (if obj_sorted ty then x :: guarded else guarded)
+        subs rest
+    | (`Ex, (x, ty)) :: rest ->
       let sk = Form.fresh_name ("sk_" ^ x) in
       let term =
         if universals = [] then Form.Var sk
         else Form.App (Form.Var sk, List.map (fun (u, ()) -> Form.Var u) universals)
       in
-      go universals ((x, term) :: subs) rest
+      (* an obj-sorted witness can always be chosen inside the object
+         domain, whatever the enclosing universals are bound to *)
+      if obj_sorted ty then
+        extra :=
+          [ obj_lit true (fol_term (List.map fst universals) term) ] :: !extra;
+      go universals guarded ((x, term) :: subs) rest
   in
   (* skolem applications App (Var sk, universals) translate via "f_sk" *)
-  go [] [] qs
+  let cs = go [] [] [] qs in
+  cs @ !extra
 
 (* ------------------------------------------------------------------ *)
 (* Equality axioms                                                     *)
@@ -273,7 +334,10 @@ let equality_axioms (clauses : clause list) : clause list =
     let pred_congruences =
       Hashtbl.fold
         (fun (p, arity) () acc ->
-          if arity = 0 then acc
+          (* no congruence for the [obj] sort guard: sorts are
+             equality-invariant by construction, and the axiom's
+             resolvents flood the search space *)
+          if arity = 0 || p = "obj" then acc
           else begin
             let xs = List.init arity (fun i -> V (Printf.sprintf "x%d" i)) in
             let ys = List.init arity (fun i -> V (Printf.sprintf "y%d" i)) in
@@ -357,7 +421,36 @@ let theory_axioms (clauses : clause list) : clause list =
   let null_field_axioms =
     List.map (fun f -> [ eq (read (Fn (f, [])) null) null ]) field_consts
   in
-  rt_axioms @ write_axioms @ null_field_axioms
+  (* ground object terms for the sort guards introduced by [clausify]:
+     null and every field read denote objects, and so does any ground
+     term in the element slot of a membership (the translation puts only
+     object-sorted expressions there).  Ground units instead of a general
+     [elem(x,s) -> obj(x)] axiom: the axiom resolves against every
+     membership literal in the search space and floods it. *)
+  let obj_axioms =
+    if not (has_pred "obj") then []
+    else begin
+      let rec ground = function
+        | V _ -> false
+        | Fn (_, args) -> List.for_all ground args
+      in
+      let elem_members =
+        let acc = ref [] in
+        List.iter
+          (List.iter (fun l ->
+               match l.pred, l.args with
+               | "elem", [ x; _ ] when ground x && not (List.mem x !acc) ->
+                 acc := x :: !acc
+               | _ -> ()))
+          clauses;
+        !acc
+      in
+      [ obj_lit true null ]
+      :: [ obj_lit true (read (V "g") (V "x")) ]
+      :: List.map (fun t -> [ obj_lit true t ]) elem_members
+    end
+  in
+  rt_axioms @ write_axioms @ null_field_axioms @ obj_axioms
 
 (* ------------------------------------------------------------------ *)
 (* Given-clause resolution loop                                        *)
@@ -502,9 +595,11 @@ let refute ?(max_clauses = 4000) ?(max_weight = 60) ?(max_lits = 6)
              everything active *)
           let partners = !active_usable @ !active_sos in
           let new_clauses =
-            factors given
-            @ List.concat_map (fun a -> resolvents given a) partners
-            @ resolvents given given
+            List.map
+              (List.sort_uniq compare)
+              (factors given
+              @ List.concat_map (fun a -> resolvents given a) partners
+              @ resolvents given given)
           in
           active_sos := given :: !active_sos;
           List.iter
@@ -512,7 +607,7 @@ let refute ?(max_clauses = 4000) ?(max_weight = 60) ?(max_lits = 6)
               if c = [] then result := Some Proof
               else if
                 clause_size c <= max_weight
-                && List.length c <= max_lits
+                && clause_lits c <= max_lits
                 && not (unit_subsumed c)
               then begin
                 incr total;
@@ -566,7 +661,9 @@ let instantiate_foralls (cands : Form.t list) (hyps : Form.t list) :
   List.concat_map
     (fun h ->
       match Form.strip_types h with
-      | Form.Binder (Form.Forall, vars, body) when List.length vars <= 2 ->
+      | Form.Binder (Form.Forall, vars, body)
+        when List.length vars <= 2
+             && List.for_all (fun (_, ty) -> obj_sorted ty) vars ->
         let n = List.length cands in
         let rec tuples k =
           if k = 0 then [ [] ]
@@ -601,6 +698,27 @@ let prove_with ?(set_vars = []) (s : Sequent.t) : Sequent.verdict =
       List.concat_map clausify (translated_hyps @ instances)
     in
     let goal_clauses = clausify translated_goal in
+    (* free variables the typechecker sorts at objects satisfy the [obj]
+       guards; only needed when some clause actually carries a guard *)
+    let obj_var_units =
+      let uses_obj =
+        List.exists
+          (List.exists (fun l -> l.pred = "obj"))
+          (hyp_clauses @ goal_clauses)
+      in
+      if not uses_obj then []
+      else
+        match Typecheck.infer (Sequent.to_form s) with
+        | exception Typecheck.Type_error _ -> []
+        | _, _, free ->
+          Typecheck.Smap.fold
+            (fun x ty acc ->
+              if obj_sorted ty then
+                [ obj_lit true (Fn ("c_" ^ x, [])) ] :: acc
+              else acc)
+            free []
+    in
+    let hyp_clauses = obj_var_units @ hyp_clauses in
     let theory = theory_axioms (hyp_clauses @ goal_clauses) in
     let axioms = equality_axioms (theory @ hyp_clauses @ goal_clauses) in
     refute ~usable:(axioms @ theory @ hyp_clauses) ~sos:goal_clauses ()
@@ -631,6 +749,19 @@ let infer_set_vars (s : Sequent.t) : string list =
 
 let prove (s : Sequent.t) : Sequent.verdict =
   prove_with ~set_vars:(infer_set_vars s) s
+
+(** Does the whole sequent translate to first-order clauses?  (The prover
+    is sound-but-incomplete on its fragment — it only ever answers [Valid]
+    or [Unknown] — so membership means "worth asking", not "decides".) *)
+let in_fragment (s : Sequent.t) : bool =
+  let set_vars = infer_set_vars s in
+  match
+    List.iter
+      (fun f -> ignore (clausify (set_to_fol set_vars f)))
+      (Form.mk_not s.Sequent.goal :: s.Sequent.hyps)
+  with
+  | () -> true
+  | exception Untranslatable _ -> false
 
 let prover : Sequent.prover =
   Sequent.traced_prover { prover_name = "fol"; prove }

@@ -1,0 +1,1 @@
+lib/gen/formgen.ml: Form Ftype Hashtbl List Logic Printf QCheck Random Sequent Typecheck

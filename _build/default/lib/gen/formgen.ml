@@ -1,0 +1,382 @@
+(** Well-typed, size-bounded random generators for formulas and sequents.
+
+    Each generator targets one prover {e fragment}: the vocabulary (typed
+    free variables) and the shapes of atoms are chosen so that the
+    resulting sequents fall inside the corresponding decision procedure's
+    membership predicate, letting the differential driver route every
+    obligation to every prover that claims it.
+
+    Generation is fuel-based and the node count of anything produced is
+    linearly bounded in the fuel ({!node_bound}), so a fuzzing run's cost
+    is predictable and the size bound is a checkable QCheck property. *)
+
+open Logic
+module G = QCheck.Gen
+
+type fragment =
+  | Euf          (** quantifier-free equality + uninterpreted fields *)
+  | Presburger   (** quantifier-free linear integer arithmetic *)
+  | Bapa         (** boolean algebra of sets with cardinalities *)
+  | Ws1s         (** monadic sets, object equalities, object quantifiers *)
+  | Mixed        (** everything at once; routed to whoever admits it *)
+
+let all_fragments = [ Euf; Presburger; Bapa; Ws1s; Mixed ]
+
+let fragment_name = function
+  | Euf -> "euf"
+  | Presburger -> "presburger"
+  | Bapa -> "bapa"
+  | Ws1s -> "ws1s"
+  | Mixed -> "mixed"
+
+let fragment_of_name = function
+  | "euf" -> Some Euf
+  | "presburger" -> Some Presburger
+  | "bapa" -> Some Bapa
+  | "ws1s" -> Some Ws1s
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+(** The typed free variables a fragment's formulas draw from.  Also the
+    environment under which generated formulas typecheck and under which
+    corpus files are re-disambiguated on replay. *)
+let vocabulary (frag : fragment) : (string * Ftype.t) list =
+  match frag with
+  | Euf ->
+    [ ("x", Ftype.Obj); ("y", Ftype.Obj); ("z", Ftype.Obj);
+      ("f", Ftype.Arrow (Ftype.Obj, Ftype.Obj));
+      ("g", Ftype.Arrow (Ftype.Obj, Ftype.Obj));
+    ]
+  | Presburger -> [ ("i", Ftype.Int); ("j", Ftype.Int); ("k", Ftype.Int) ]
+  | Bapa ->
+    [ ("s", Ftype.objset); ("t", Ftype.objset); ("u", Ftype.objset);
+      ("x", Ftype.Obj); ("y", Ftype.Obj);
+    ]
+  | Ws1s ->
+    [ ("s", Ftype.objset); ("t", Ftype.objset); ("u", Ftype.objset);
+      ("x", Ftype.Obj); ("y", Ftype.Obj);
+    ]
+  | Mixed ->
+    [ ("x", Ftype.Obj); ("y", Ftype.Obj); ("z", Ftype.Obj);
+      ("s", Ftype.objset); ("t", Ftype.objset);
+      ("f", Ftype.Arrow (Ftype.Obj, Ftype.Obj));
+      ("i", Ftype.Int); ("j", Ftype.Int);
+    ]
+
+let type_env (frag : fragment) : Typecheck.env =
+  Typecheck.env_of_list (vocabulary frag)
+
+(* variables of each sort available in a fragment *)
+let vars_of_sort frag (want : Ftype.t) : string list =
+  List.filter_map
+    (fun (x, ty) -> if Ftype.equal ty want then Some x else None)
+    (vocabulary frag)
+
+(* ------------------------------------------------------------------ *)
+(* Size accounting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Worst-case node count of a single atom (widest case: a BAPA cardinality
+   equation over depth-1 set terms, ~40 nodes; see gen_atom). *)
+let atom_bound = 48
+
+(** Upper bound on {!Form.size} of a formula generated with [fuel]:
+    boolean connectives split their fuel between children, so growth is
+    linear. *)
+let node_bound fuel = atom_bound + (50 * max 0 fuel)
+
+(** Fuel given to each hypothesis of a sequent generated with [~size]. *)
+let hyp_fuel ~size = max 1 (size / 2)
+
+let max_hyps = 3
+
+(** Upper bound on the total node count (all hypotheses plus goal) of a
+    sequent generated with [~size]. *)
+let sequent_node_bound ~size =
+  node_bound size + (max_hyps * node_bound (hyp_fuel ~size))
+
+let sequent_size (s : Sequent.t) : int =
+  List.fold_left
+    (fun n h -> n + Form.size h)
+    (Form.size s.Sequent.goal)
+    s.Sequent.hyps
+
+(* ------------------------------------------------------------------ *)
+(* Term generators                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let oneofl = G.oneofl
+let freq = G.frequency
+let ( let* ) = G.( let* )
+
+(* objs: the object variables in scope (free vocabulary + bound) *)
+let gen_obj_leaf objs : Form.t G.t =
+  freq
+    [ (4, G.map Form.mk_var (oneofl objs)); (1, G.return Form.mk_null) ]
+
+(* object terms with field reads/writes, for the EUF fragment *)
+let rec gen_obj_term fields objs depth : Form.t G.t =
+  if depth <= 0 then gen_obj_leaf objs
+  else
+    freq
+      [ (2, gen_obj_leaf objs);
+        ( 2,
+          let* fld = gen_field_term fields objs (depth - 1) in
+          let* o = gen_obj_term fields objs (depth - 1) in
+          G.return (Form.mk_field_read fld o) );
+      ]
+
+and gen_field_term fields objs depth : Form.t G.t =
+  if depth <= 0 then G.map Form.mk_var (oneofl fields)
+  else
+    freq
+      [ (3, G.map Form.mk_var (oneofl fields));
+        ( 1,
+          let* fld = G.map Form.mk_var (oneofl fields) in
+          let* o = gen_obj_leaf objs in
+          let* v = gen_obj_leaf objs in
+          G.return (Form.mk_field_write fld o v) );
+      ]
+
+(* linear integer terms *)
+let rec gen_int_term ints depth : Form.t G.t =
+  if depth <= 0 then
+    freq
+      [ (3, G.map Form.mk_var (oneofl ints));
+        (2, G.map Form.mk_int (G.int_range (-3) 3));
+      ]
+  else
+    freq
+      [ (2, gen_int_term ints 0);
+        ( 2,
+          let* a = gen_int_term ints (depth - 1) in
+          let* b = gen_int_term ints (depth - 1) in
+          G.return (Form.mk_plus a b) );
+        ( 1,
+          let* a = gen_int_term ints (depth - 1) in
+          let* b = gen_int_term ints (depth - 1) in
+          G.return (Form.mk_minus a b) );
+        ( 1,
+          let* a = gen_int_term ints (depth - 1) in
+          G.return (Form.mk_uminus a) );
+        ( 1,
+          let* k = G.int_range (-2) 3 in
+          let* a = gen_int_term ints (depth - 1) in
+          G.return (Form.mk_mult (Form.mk_int k) a) );
+      ]
+
+(* set terms: variables, constants, small literals, one level of algebra *)
+let gen_set_leaf sets objs : Form.t G.t =
+  freq
+    [ (4, G.map Form.mk_var (oneofl sets));
+      (1, G.return Form.mk_emptyset);
+      (1, G.return Form.mk_univ);
+      ( 1,
+        let* es = G.list_size (G.int_range 1 2) (gen_obj_leaf objs) in
+        G.return (Form.mk_finite_set es) );
+    ]
+
+let gen_set_term sets objs depth : Form.t G.t =
+  if depth <= 0 then gen_set_leaf sets objs
+  else
+    freq
+      [ (3, gen_set_leaf sets objs);
+        ( 1,
+          let* a = gen_set_leaf sets objs in
+          let* b = gen_set_leaf sets objs in
+          G.return (Form.mk_union a b) );
+        ( 1,
+          let* a = gen_set_leaf sets objs in
+          let* b = gen_set_leaf sets objs in
+          G.return (Form.mk_inter a b) );
+        ( 1,
+          let* a = gen_set_leaf sets objs in
+          let* b = gen_set_leaf sets objs in
+          G.return (Form.mk_diff a b) );
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Atom generators                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmp : (Form.t -> Form.t -> Form.t) G.t =
+  oneofl [ Form.mk_eq; Form.mk_le; Form.mk_lt; Form.mk_ge; Form.mk_gt ]
+
+let gen_euf_atom fields objs : Form.t G.t =
+  let* a = gen_obj_term fields objs 2 in
+  let* b = gen_obj_term fields objs 2 in
+  G.return (Form.mk_eq a b)
+
+let gen_presburger_atom ints : Form.t G.t =
+  let* cmp = gen_cmp in
+  let* a = gen_int_term ints 2 in
+  let* b = gen_int_term ints 2 in
+  G.return (cmp a b)
+
+let gen_bapa_atom sets objs : Form.t G.t =
+  freq
+    [ ( 3,
+        let* a = gen_set_term sets objs 1 in
+        let* b = gen_set_term sets objs 1 in
+        oneofl
+          [ Form.mk_subseteq a b; Form.mk_subset a b; Form.mk_eq a b ] );
+      ( 3,
+        let* x = gen_obj_leaf objs in
+        let* s = gen_set_term sets objs 1 in
+        G.return (Form.mk_elem x s) );
+      ( 2,
+        let* cmp = gen_cmp in
+        let* a = gen_set_term sets objs 1 in
+        freq
+          [ ( 2,
+              let* n = G.int_range 0 3 in
+              G.return (cmp (Form.mk_card a) (Form.mk_int n)) );
+            ( 2,
+              let* b = gen_set_term sets objs 1 in
+              G.return (cmp (Form.mk_card a) (Form.mk_card b)) );
+            ( 1,
+              let* b = gen_set_term sets objs 1 in
+              let* c = gen_set_term sets objs 1 in
+              G.return
+                (cmp
+                   (Form.mk_plus (Form.mk_card a) (Form.mk_card b))
+                   (Form.mk_card c)) );
+          ] );
+      ( 1,
+        let* x = gen_obj_leaf objs in
+        let* y = gen_obj_leaf objs in
+        G.return (Form.mk_eq x y) );
+    ]
+
+(* the monadic fragment: set *variables* only (the word model translates
+   no set algebra), object equalities, membership, inclusion *)
+let gen_ws1s_atom sets objs : Form.t G.t =
+  freq
+    [ ( 3,
+        let* x = gen_obj_leaf objs in
+        let* s = G.map Form.mk_var (oneofl sets) in
+        G.return (Form.mk_elem x s) );
+      ( 2,
+        let* a = G.map Form.mk_var (oneofl sets) in
+        let* b = G.map Form.mk_var (oneofl sets) in
+        oneofl [ Form.mk_subseteq a b; Form.mk_eq a b ] );
+      ( 2,
+        let* x = gen_obj_leaf objs in
+        let* y = gen_obj_leaf objs in
+        G.return (Form.mk_eq x y) );
+    ]
+
+(* a reachability atom along a backbone field: rtrancl_pt (% u v. u..f = v) *)
+let gen_rtrancl_atom fields objs : Form.t G.t =
+  let* f = oneofl fields in
+  let* a = gen_obj_leaf objs in
+  let* b = gen_obj_leaf objs in
+  let step =
+    Form.mk_lambda
+      [ ("$u", Ftype.Obj); ("$v", Ftype.Obj) ]
+      (Form.mk_eq
+         (Form.mk_field_read (Form.mk_var f) (Form.mk_var "$u"))
+         (Form.mk_var "$v"))
+  in
+  G.return (Form.mk_rtrancl step a b)
+
+(* ------------------------------------------------------------------ *)
+(* Formula and sequent generators                                      *)
+(* ------------------------------------------------------------------ *)
+
+type scope = {
+  frag : fragment;
+  bound_objs : string list; (* quantified object variables in scope *)
+  qdepth : int;
+}
+
+let objs_in scope =
+  scope.bound_objs @ vars_of_sort scope.frag Ftype.Obj
+
+let gen_atom (scope : scope) : Form.t G.t =
+  let objs = objs_in scope in
+  let sets = vars_of_sort scope.frag Ftype.objset in
+  let ints = vars_of_sort scope.frag Ftype.Int in
+  let fields = vars_of_sort scope.frag (Ftype.Arrow (Ftype.Obj, Ftype.Obj)) in
+  match scope.frag with
+  | Euf -> gen_euf_atom fields objs
+  | Presburger -> gen_presburger_atom ints
+  | Bapa -> gen_bapa_atom sets objs
+  | Ws1s -> gen_ws1s_atom sets objs
+  | Mixed ->
+    freq
+      [ (3, gen_euf_atom fields objs);
+        (3, gen_presburger_atom ints);
+        (3, gen_bapa_atom sets objs);
+        (2, gen_ws1s_atom sets objs);
+        (1, gen_rtrancl_atom fields objs);
+      ]
+
+(* can this fragment quantify over objects? *)
+let quantifies = function
+  | Ws1s | Mixed -> true
+  | Euf | Presburger | Bapa -> false
+
+let rec gen_formula_scoped (scope : scope) ~(fuel : int) : Form.t G.t =
+  if fuel <= 0 then gen_atom scope
+  else
+    let split k =
+      (* share fuel-1 between two children *)
+      let* a = G.int_bound (fuel - 1) in
+      let* f1 = gen_formula_scoped scope ~fuel:a in
+      let* f2 = gen_formula_scoped scope ~fuel:(fuel - 1 - a) in
+      G.return (k f1 f2)
+    in
+    let base =
+      [ (3, gen_atom scope);
+        (2, split (fun a b -> Form.mk_and [ a; b ]));
+        (2, split (fun a b -> Form.mk_or [ a; b ]));
+        ( 2,
+          let* g = gen_formula_scoped scope ~fuel:(fuel - 1) in
+          G.return (Form.mk_not g) );
+        (1, split Form.mk_impl);
+        (1, split Form.mk_iff);
+      ]
+    in
+    let quantified =
+      if quantifies scope.frag && scope.qdepth < 2 then
+        [ ( 2,
+            let q = Printf.sprintf "q%d" scope.qdepth in
+            let scope' =
+              { scope with
+                bound_objs = q :: scope.bound_objs;
+                qdepth = scope.qdepth + 1 }
+            in
+            let* body = gen_formula_scoped scope' ~fuel:(fuel - 1) in
+            let* mk = oneofl [ Form.mk_forall; Form.mk_exists ] in
+            G.return (mk [ (q, Ftype.Obj) ] body) );
+        ]
+      else []
+    in
+    freq (base @ quantified)
+
+(** Generate one boolean formula of the fragment; [Form.size] of the
+    result is at most [node_bound fuel]. *)
+let gen_formula (frag : fragment) ~(fuel : int) : Form.t G.t =
+  gen_formula_scoped { frag; bound_objs = []; qdepth = 0 } ~fuel
+
+(** Generate a sequent: up to {!max_hyps} hypotheses at [hyp_fuel ~size]
+    fuel each, and a goal at [size] fuel.  Total node count is at most
+    [sequent_node_bound ~size]. *)
+let gen_sequent (frag : fragment) ~(size : int) : Sequent.t G.t =
+  let* nhyps = G.int_range 0 max_hyps in
+  let* hyps =
+    G.list_repeat nhyps (gen_formula frag ~fuel:(hyp_fuel ~size))
+  in
+  let* goal = gen_formula frag ~fuel:size in
+  G.return (Sequent.make ~name:("fuzz:" ^ fragment_name frag) hyps goal)
+
+(** Deterministic generation: the [n]-th sequent of a (seed, fragment,
+    size) triple is a pure function of its arguments. *)
+let sequent_of_seed (frag : fragment) ~(seed : int) ~(size : int) (n : int) :
+    Sequent.t =
+  let rand =
+    Random.State.make
+      [| seed; Hashtbl.hash (fragment_name frag); size; n |]
+  in
+  G.generate1 ~rand (gen_sequent frag ~size)

@@ -1,0 +1,1 @@
+lib/logic/eval.ml: Array Form Format Ftype List Pprint Printf Sequent String Sys Typecheck

@@ -1,0 +1,389 @@
+(** A finite-model evaluator for the specification logic.
+
+    This is the semantic oracle of the differential prover fuzzer: formulas
+    are interpreted over small explicit structures — a universe of [u]
+    objects ([0] is [null]), machine integers from a bounded range, object
+    sets as bitmasks, and fields as tabulated functions mapping [null] to
+    [null] (the convention every prover in the portfolio assumes).
+
+    Because the structures are genuine models of the logic, a countermodel
+    found here refutes a [Valid] verdict outright; the converse direction is
+    only evidence (a real countermodel may need a larger universe than the
+    enumeration bound). *)
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+type value =
+  | Vbool of bool
+  | Vint of int
+  | Vobj of int (** object id; [0] is [null] *)
+  | Vset of int (** bitmask over objects [0 .. universe-1] *)
+  | Vfun of int array (** tabulated [obj => obj] function *)
+
+(** A finite structure: objects are [0 .. universe-1] with [0 = null], and
+    [vars] interprets the free variables. *)
+type model = {
+  universe : int;
+  vars : (string * value) list;
+}
+
+let pp_value ppf = function
+  | Vbool b -> Format.pp_print_bool ppf b
+  | Vint n -> Format.pp_print_int ppf n
+  | Vobj 0 -> Format.pp_print_string ppf "null"
+  | Vobj o -> Format.fprintf ppf "o%d" o
+  | Vset m ->
+    let elems = ref [] in
+    for i = Sys.int_size - 2 downto 0 do
+      if (m lsr i) land 1 = 1 then elems := i :: !elems
+    done;
+    Format.fprintf ppf "{%s}"
+      (String.concat ","
+         (List.map (fun i -> if i = 0 then "null" else Printf.sprintf "o%d" i)
+            !elems))
+  | Vfun arr ->
+    Format.fprintf ppf "[%s]"
+      (String.concat ";" (Array.to_list (Array.map string_of_int arr)))
+
+let pp_model ppf (m : model) =
+  Format.fprintf ppf "@[<hov 2>universe %d:" m.universe;
+  List.iter (fun (x, v) -> Format.fprintf ppf "@ %s=%a" x pp_value v) m.vars;
+  Format.fprintf ppf "@]"
+
+let model_to_string m = Format.asprintf "%a" pp_model m
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let full_mask u = (1 lsl u) - 1
+
+(* Enumerable domains for bound variables.  Int binders are deliberately
+   unsupported: quantification ranges over all of [int], and checking a
+   bounded subset would make the oracle claim countermodels (or their
+   absence) that the real semantics does not justify. *)
+let domain (u : int) (ty : Ftype.t) : value list =
+  match ty with
+  | Ftype.Bool -> [ Vbool false; Vbool true ]
+  | Ftype.Obj | Ftype.Tvar _ -> List.init u (fun o -> Vobj o)
+  | Ftype.Set (Ftype.Obj | Ftype.Tvar _) ->
+    List.init (1 lsl u) (fun m -> Vset m)
+  | ty -> unsupported "cannot enumerate binder domain %s" (Ftype.to_string ty)
+
+let rec eval (m : model) (env : (string * value) list) (f : Form.t) : value =
+  match Form.strip_types f with
+  | Form.Var x -> (
+    match List.assoc_opt x env with
+    | Some v -> v
+    | None -> (
+      match List.assoc_opt x m.vars with
+      | Some v -> v
+      | None -> unsupported "unbound variable %s" x))
+  | Form.Const (Form.BoolLit b) -> Vbool b
+  | Form.Const (Form.IntLit n) -> Vint n
+  | Form.Const Form.Null -> Vobj 0
+  | Form.Const Form.EmptySet -> Vset 0
+  | Form.Const Form.UnivSet -> Vset (full_mask m.universe)
+  | Form.App (Form.Const Form.Not, [ g ]) -> Vbool (not (as_bool m env g))
+  | Form.App (Form.Const Form.And, gs) ->
+    Vbool (List.for_all (as_bool m env) gs)
+  | Form.App (Form.Const Form.Or, gs) -> Vbool (List.exists (as_bool m env) gs)
+  | Form.App (Form.Const Form.Impl, [ a; b ]) ->
+    Vbool ((not (as_bool m env a)) || as_bool m env b)
+  | Form.App (Form.Const Form.Iff, [ a; b ]) ->
+    Vbool (as_bool m env a = as_bool m env b)
+  | Form.App (Form.Const Form.Ite, [ c; a; b ]) ->
+    if as_bool m env c then eval m env a else eval m env b
+  | Form.App (Form.Const Form.Eq, [ a; b ]) -> (
+    match eval m env a, eval m env b with
+    | Vbool x, Vbool y -> Vbool (x = y)
+    | Vint x, Vint y -> Vbool (x = y)
+    | Vobj x, Vobj y -> Vbool (x = y)
+    | Vset x, Vset y -> Vbool (x = y)
+    | Vfun x, Vfun y -> Vbool (x = y)
+    | _ -> unsupported "ill-sorted equality")
+  (* Lt/Le on sets normally disambiguate to Subset/Subseteq before they
+     reach us, but the evaluator accepts both spellings. *)
+  | Form.App (Form.Const Form.Lt, [ a; b ]) -> cmp m env ( < ) strict_sub a b
+  | Form.App (Form.Const Form.Le, [ a; b ]) -> cmp m env ( <= ) sub a b
+  | Form.App (Form.Const Form.Gt, [ a; b ]) -> cmp m env ( > ) (fun u x y -> strict_sub u y x) a b
+  | Form.App (Form.Const Form.Ge, [ a; b ]) -> cmp m env ( >= ) (fun u x y -> sub u y x) a b
+  | Form.App (Form.Const Form.Plus, [ a; b ]) ->
+    Vint (as_int m env a + as_int m env b)
+  | Form.App (Form.Const Form.Minus, [ a; b ]) -> (
+    match eval m env a, eval m env b with
+    | Vint x, Vint y -> Vint (x - y)
+    | Vset x, Vset y -> Vset (x land lnot y land full_mask m.universe)
+    | _ -> unsupported "ill-sorted subtraction")
+  | Form.App (Form.Const Form.Uminus, [ a ]) -> Vint (-as_int m env a)
+  | Form.App (Form.Const Form.Mult, [ a; b ]) ->
+    Vint (as_int m env a * as_int m env b)
+  | Form.App (Form.Const Form.Elem, [ x; s ]) ->
+    Vbool ((as_set m env s lsr as_obj m env x) land 1 = 1)
+  | Form.App (Form.Const Form.Union, [ a; b ]) ->
+    Vset (as_set m env a lor as_set m env b)
+  | Form.App (Form.Const Form.Inter, [ a; b ]) ->
+    Vset (as_set m env a land as_set m env b)
+  | Form.App (Form.Const Form.Diff, [ a; b ]) ->
+    Vset (as_set m env a land lnot (as_set m env b) land full_mask m.universe)
+  | Form.App (Form.Const Form.Subseteq, [ a; b ]) ->
+    Vbool (sub m.universe (as_set m env a) (as_set m env b))
+  | Form.App (Form.Const Form.Subset, [ a; b ]) ->
+    Vbool (strict_sub m.universe (as_set m env a) (as_set m env b))
+  | Form.App (Form.Const Form.FiniteSet, es) ->
+    Vset (List.fold_left (fun mask e -> mask lor (1 lsl as_obj m env e)) 0 es)
+  | Form.App (Form.Const Form.Card, [ s ]) ->
+    let mask = as_set m env s in
+    let n = ref 0 in
+    for i = 0 to m.universe - 1 do
+      if (mask lsr i) land 1 = 1 then incr n
+    done;
+    Vint !n
+  | Form.App (Form.Const Form.FieldRead, [ fld; x ]) ->
+    let arr = as_fun m env fld in
+    Vobj arr.(as_obj m env x)
+  | Form.App (Form.Const Form.FieldWrite, [ fld; x; v ]) ->
+    let arr = Array.copy (as_fun m env fld) in
+    arr.(as_obj m env x) <- as_obj m env v;
+    Vfun arr
+  | Form.App (Form.Const Form.Rtrancl, [ p; a; b ]) ->
+    let rel = tabulate_relation m env p in
+    Vbool (rtrancl_reaches m.universe rel (as_obj m env a) (as_obj m env b))
+  | Form.Binder (Form.Forall, vars, body) ->
+    Vbool (for_all_assignments m env vars body)
+  | Form.Binder (Form.Exists, vars, body) ->
+    Vbool (not (for_all_assignments_neg m env vars body))
+  | Form.Binder (Form.Comprehension, [ (x, ty) ], body) -> (
+    match ty with
+    | Ftype.Obj | Ftype.Tvar _ ->
+      let mask = ref 0 in
+      for o = 0 to m.universe - 1 do
+        if as_bool m ((x, Vobj o) :: env) body then mask := !mask lor (1 lsl o)
+      done;
+      Vset !mask
+    | _ -> unsupported "comprehension over %s" (Ftype.to_string ty))
+  | Form.Binder (Form.Lambda, [ (x, (Ftype.Obj | Ftype.Tvar _)) ], body) ->
+    Vfun (Array.init m.universe (fun o -> as_obj m ((x, Vobj o) :: env) body))
+  | Form.App (g, args) -> (
+    (* application of a function-valued term, e.g. a lambda or a field
+       variable applied directly *)
+    match eval m env g, args with
+    | Vfun arr, [ x ] -> Vobj arr.(as_obj m env x)
+    | _ -> unsupported "unevaluable application %s" (Pprint.to_string f))
+  | g -> unsupported "unevaluable formula %s" (Pprint.to_string g)
+
+and cmp m env int_op set_op a b =
+  match eval m env a, eval m env b with
+  | Vint x, Vint y -> Vbool (int_op x y)
+  | Vset x, Vset y -> Vbool (set_op m.universe x y)
+  | _ -> unsupported "ill-sorted comparison"
+
+and sub u x y = x land lnot y land full_mask u = 0
+and strict_sub u x y = sub u x y && x <> y
+
+(* universal quantification over every assignment of [vars] *)
+and for_all_assignments m env vars body =
+  match vars with
+  | [] -> as_bool m env body
+  | (x, ty) :: rest ->
+    List.for_all
+      (fun v -> for_all_assignments m ((x, v) :: env) rest body)
+      (domain m.universe ty)
+
+and for_all_assignments_neg m env vars body =
+  match vars with
+  | [] -> not (as_bool m env body)
+  | (x, ty) :: rest ->
+    List.for_all
+      (fun v -> for_all_assignments_neg m ((x, v) :: env) rest body)
+      (domain m.universe ty)
+
+and tabulate_relation m env p : bool array array =
+  let u = m.universe in
+  let with_vars x y body =
+    Array.init u (fun i ->
+        Array.init u (fun j ->
+            as_bool m ((x, Vobj i) :: (y, Vobj j) :: env) body))
+  in
+  match Form.strip_types p with
+  | Form.Binder (Form.Lambda, [ (x, _); (y, _) ], body) -> with_vars x y body
+  | Form.Binder (Form.Lambda, [ (x, _) ], body) -> (
+    match Form.strip_types body with
+    | Form.Binder (Form.Lambda, [ (y, _) ], body') -> with_vars x y body'
+    | _ -> unsupported "rtrancl over non-binary lambda")
+  | _ -> unsupported "rtrancl over non-lambda %s" (Pprint.to_string p)
+
+and rtrancl_reaches u rel a b =
+  (* reflexive-transitive closure by saturation over a <= u*u frontier *)
+  let reach = Array.make u false in
+  reach.(a) <- true;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to u - 1 do
+      if reach.(i) then
+        for j = 0 to u - 1 do
+          if rel.(i).(j) && not reach.(j) then begin
+            reach.(j) <- true;
+            changed := true
+          end
+        done
+    done
+  done;
+  reach.(b)
+
+and as_bool m env g =
+  match eval m env g with
+  | Vbool b -> b
+  | _ -> unsupported "expected bool: %s" (Pprint.to_string g)
+
+and as_int m env g =
+  match eval m env g with
+  | Vint i -> i
+  | _ -> unsupported "expected int: %s" (Pprint.to_string g)
+
+and as_set m env g =
+  match eval m env g with
+  | Vset s -> s
+  | _ -> unsupported "expected set: %s" (Pprint.to_string g)
+
+and as_obj m env g =
+  match eval m env g with
+  | Vobj o -> o
+  | _ -> unsupported "expected obj: %s" (Pprint.to_string g)
+
+and as_fun m env g =
+  match eval m env g with
+  | Vfun arr -> arr
+  | _ -> unsupported "expected field: %s" (Pprint.to_string g)
+
+(** Truth value of a closed-under-[m] formula.  Raises {!Unsupported} when
+    the formula leaves the evaluable fragment. *)
+let truth (m : model) (f : Form.t) : bool = as_bool m [] f
+
+let truth_opt (m : model) (f : Form.t) : bool option =
+  match truth m f with b -> Some b | exception Unsupported _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The exhaustive bounded oracle                                       *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | No_countermodel of { models_checked : int; max_universe_checked : int }
+      (** every enumerated model satisfied the sequent *)
+  | Countermodel of model
+      (** a genuine refutation: the sequent is falsifiable *)
+  | Unsupported_oracle of string
+      (** the sequent leaves the evaluable fragment (e.g. integer-sorted
+          quantifiers, division, arrays) *)
+
+(* the value domain of a free variable of the given sort, or None when the
+   sort cannot be finitely enumerated *)
+let free_var_domain (u : int) (int_range : int) (ty : Ftype.t) :
+    value list option =
+  let rec ground : Ftype.t -> Ftype.t = function
+    | Ftype.Tvar _ -> Ftype.Obj
+    | Ftype.Set t -> Ftype.Set (ground t)
+    | Ftype.Arrow (a, b) -> Ftype.Arrow (ground a, ground b)
+    | Ftype.Tuple ts -> Ftype.Tuple (List.map ground ts)
+    | (Ftype.Bool | Ftype.Int | Ftype.Obj) as t -> t
+  in
+  match ground ty with
+  | Ftype.Bool -> Some [ Vbool false; Vbool true ]
+  | Ftype.Int ->
+    Some (List.init ((2 * int_range) + 1) (fun i -> Vint (i - int_range)))
+  | Ftype.Obj -> Some (List.init u (fun o -> Vobj o))
+  | Ftype.Set Ftype.Obj -> Some (List.init (1 lsl u) (fun mask -> Vset mask))
+  | Ftype.Arrow (Ftype.Obj, Ftype.Obj) ->
+    (* fields respect the heap convention null..f = null, matching the
+       axiom every prover builds in; models violating it are not models
+       of the intended semantics *)
+    let count = int_of_float (float_of_int u ** float_of_int (u - 1)) in
+    Some
+      (List.init count (fun code ->
+           let arr = Array.make u 0 in
+           let c = ref code in
+           for i = 1 to u - 1 do
+             arr.(i) <- !c mod u;
+             c := !c / u
+           done;
+           Vfun arr))
+  | _ -> None
+
+exception Refuted of model
+exception Budget
+
+(** [check s] exhaustively evaluates sequent [s] over every model whose
+    universe has at most [max_universe] objects and whose integer variables
+    range over [-int_range .. int_range].  [env] supplies sorts for free
+    variables the type checker cannot infer on its own.  [max_models] caps
+    the total number of models enumerated (the count is still reported
+    honestly in [No_countermodel]). *)
+let check ?(env = Typecheck.Smap.empty) ?(max_universe = 3) ?(int_range = 4)
+    ?max_models (s : Sequent.t) : outcome =
+  match Typecheck.infer ~env (Sequent.to_form s) with
+  | exception Typecheck.Type_error msg ->
+    Unsupported_oracle ("ill-typed: " ^ msg)
+  | f, ty, free -> (
+    match ty with
+    | Ftype.Bool | Ftype.Tvar _ -> (
+      let fvs = Form.fv_list f in
+      let sort_of x =
+        (* [free] omits env-bound variables, so consult [env] first *)
+        match Typecheck.Smap.find_opt x env with
+        | Some t -> t
+        | None -> (
+          match Typecheck.Smap.find_opt x free with
+          | Some t -> t
+          | None -> Ftype.Obj)
+      in
+      let checked = ref 0 in
+      let try_universe u =
+        let doms =
+          List.map
+            (fun x ->
+              match free_var_domain u int_range (sort_of x) with
+              | Some vs -> (x, vs)
+              | None ->
+                unsupported "cannot enumerate %s : %s" x
+                  (Ftype.to_string (sort_of x)))
+            fvs
+        in
+        let rec go vars = function
+          | [] ->
+            incr checked;
+            (match max_models with
+            | Some cap when !checked > cap -> raise Budget
+            | _ -> ());
+            let m = { universe = u; vars } in
+            if not (truth m f) then raise (Refuted m)
+          | (x, vs) :: rest ->
+            List.iter (fun v -> go ((x, v) :: vars) rest) vs
+        in
+        go [] doms
+      in
+      let max_done = ref 0 in
+      match
+        for u = 1 to max_universe do
+          try_universe u;
+          max_done := u
+        done
+      with
+      | () ->
+        No_countermodel
+          { models_checked = !checked; max_universe_checked = !max_done }
+      | exception Refuted m -> Countermodel m
+      | exception Budget ->
+        No_countermodel
+          { models_checked = !checked - 1; max_universe_checked = !max_done }
+      | exception Unsupported msg -> Unsupported_oracle msg)
+    | ty -> Unsupported_oracle ("not a formula: " ^ Ftype.to_string ty))
+
+let outcome_to_string = function
+  | No_countermodel { models_checked; max_universe_checked } ->
+    Printf.sprintf "no countermodel (%d models, universes up to %d)"
+      models_checked max_universe_checked
+  | Countermodel m -> "countermodel: " ^ model_to_string m
+  | Unsupported_oracle msg -> "oracle unsupported: " ^ msg

@@ -1,0 +1,1 @@
+lib/presburger/lia.ml: Cooper Form Format Ftype Linterm List Logic Omega Pform Pprint Sequent Typecheck

@@ -13,8 +13,20 @@
 
 open Pform
 
+(** Raised when elimination would exceed the caller-supplied work cap:
+    the B-set expansion multiplies the formula by [delta * (|B| + 1)] per
+    eliminated variable, which is super-exponential in the worst case. *)
+exception Fuel_exhausted
+
 let rec gcd_int a b = if b = 0 then abs a else gcd_int b (a mod b)
 let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd_int a b * b)
+
+let rec size f =
+  match f with
+  | Tru | Fls | Le _ | Eq _ | Dvd _ -> 1
+  | Not g -> 1 + size g
+  | And fs | Or fs -> List.fold_left (fun n g -> n + size g) 1 fs
+  | Ex (_, g) | All (_, g) -> 1 + size g
 
 (* NNF that keeps negation only on Dvd atoms; Le and Eq negations are
    expressed arithmetically. *)
@@ -142,8 +154,10 @@ let rec subst_var x (u : Linterm.t) f =
   | Tru | Fls -> f
   | Ex _ | All _ -> invalid_arg "Cooper: nested quantifier during elimination"
 
-(** Eliminate [EX x] from quantifier-free [f]. *)
-let eliminate x f =
+(** Eliminate [EX x] from quantifier-free [f].  [cap] bounds the size of
+    the expansion about to be built (estimated before allocating it);
+    exceeding it raises {!Fuel_exhausted}. *)
+let eliminate ?(cap = max_int) x f =
   let f = split_eq x (nnf f) in
   if not (List.mem x (free_vars f)) then f
   else begin
@@ -153,6 +167,10 @@ let eliminate x f =
     let delta = max 1 (divisor_lcm x f) in
     let f_inf = minus_inf x f in
     let bs = lower_bounds x f in
+    if cap <> max_int then begin
+      let copies = delta * (List.length bs + 1) in
+      if copies > cap || copies * size f > cap then raise Fuel_exhausted
+    end;
     let inf_cases =
       List.init delta (fun j ->
           subst_var x (Linterm.const (j + 1)) f_inf)
@@ -167,27 +185,34 @@ let eliminate x f =
     mk_or (inf_cases @ bound_cases)
   end
 
-(** Full quantifier elimination, innermost first. *)
-let rec qelim f =
+(** Full quantifier elimination, innermost first.  [cap] is a work bound:
+    any single elimination whose expansion would exceed it, and any
+    intermediate result larger than it, raises {!Fuel_exhausted}.  The
+    default ([max_int]) never gives up. *)
+let rec qelim ?(cap = max_int) f =
+  let guard g =
+    if cap <> max_int && size g > cap then raise Fuel_exhausted;
+    g
+  in
   match f with
   | Tru | Fls | Le _ | Eq _ | Dvd _ -> f
-  | Not g -> mk_not (qelim g)
-  | And fs -> mk_and (List.map qelim fs)
-  | Or fs -> mk_or (List.map qelim fs)
-  | Ex (x, g) -> eliminate x (qelim g)
-  | All (x, g) -> mk_not (eliminate x (nnf (mk_not (qelim g))))
+  | Not g -> mk_not (qelim ~cap g)
+  | And fs -> mk_and (List.map (qelim ~cap) fs)
+  | Or fs -> mk_or (List.map (qelim ~cap) fs)
+  | Ex (x, g) -> guard (eliminate ~cap x (qelim ~cap g))
+  | All (x, g) -> guard (mk_not (eliminate ~cap x (nnf (mk_not (qelim ~cap g)))))
 
 (** Decide a closed formula. *)
-let decide f =
-  let g = qelim f in
+let decide ?cap f =
+  let g = qelim ?cap f in
   match free_vars g with
   | [] -> eval [] g
   | _ :: _ -> invalid_arg "Cooper.decide: formula is not closed"
 
 (** Satisfiability with free variables interpreted existentially. *)
-let satisfiable f =
+let satisfiable ?cap f =
   let closed = List.fold_left (fun g x -> mk_ex x g) f (free_vars f) in
-  decide closed
+  decide ?cap closed
 
 (** Validity with free variables interpreted universally. *)
-let valid f = not (satisfiable (mk_not f))
+let valid ?cap f = not (satisfiable ?cap (mk_not f))

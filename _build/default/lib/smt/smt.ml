@@ -396,7 +396,26 @@ let instantiate_array_lemmas ctx (clauses : int list list ref) : unit =
             end)
           awrites)
       areads
-  done
+  done;
+  (* The heap convention [null..f = null]: every read of a program field
+     variable at an object equal to null yields null.  The FOL prover
+     asserts the same axiom for 0-ary field constants and the MONA route
+     builds it into the word model; without it the SMT side claims
+     countermodels that are not models of the intended heap semantics.
+     Write-terms are exempt — [fieldWrite] is interpreted literally by
+     every party (reads through a write chain still reduce to a base-field
+     read by the lemmas above and are then covered). *)
+  let null_t = Euf.Sym ("$null", []) in
+  Hashtbl.iter
+    (fun t () ->
+      match t with
+      | Euf.Sym ("$read", [ Euf.Sym (fname, []); x ])
+        when String.length fname > 0 && fname.[0] <> '$' ->
+        let eq_x_null = euf_atom_var ctx x null_t in
+        let eq_r_null = euf_atom_var ctx t null_t in
+        clauses := [ -eq_x_null; eq_r_null ] :: !clauses
+      | _ -> ())
+    seen_terms
 
 (* ------------------------------------------------------------------ *)
 (* Theory checking                                                     *)
@@ -701,6 +720,24 @@ let check_sat (f : Form.t) : [ `Sat of bool | `Unsat ] =
     in
     loop 0 true
   end
+
+(** Does the sequent lie entirely within the QF_UFLIA (plus
+    memberships-as-EUF) fragment?  True exactly when Tseitin translation
+    of the refutand produces no opaque atoms — the condition under which
+    [prove] would trust a countermodel enough to answer [Invalid]. *)
+let in_fragment (s : Sequent.t) : bool =
+  let refutand =
+    Form.mk_and (s.Sequent.hyps @ [ Form.mk_not s.Sequent.goal ])
+  in
+  let f = Simplify.simplify refutand in
+  let ctx = fresh_ctx () in
+  let clauses = ref [] in
+  match tseitin ctx clauses f with
+  | _ ->
+    List.for_all
+      (fun (_, a, _) -> match a with Opaque _ -> false | _ -> true)
+      ctx.atoms
+  | exception Out_of_fragment -> false
 
 (** Prove a sequent by refuting hypotheses + negated goal. *)
 let prove (s : Sequent.t) : Sequent.verdict =

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Filename Fuzz List

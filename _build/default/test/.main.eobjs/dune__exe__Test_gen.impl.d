@@ -1,0 +1,1 @@
+test/test_gen.ml: Bapa Fca Form Format Fuzz Gen List Logic Presburger Printf QCheck QCheck_alcotest Sequent Smt Typecheck

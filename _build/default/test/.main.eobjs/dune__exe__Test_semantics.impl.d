@@ -1,1 +1,1 @@
-test/test_semantics.ml: Array Form Ftype List Logic Parser Pprint QCheck QCheck_alcotest Simplify Typecheck
+test/test_semantics.ml: Alcotest Eval Form Ftype Logic Parser Pprint QCheck QCheck_alcotest Sequent Simplify Typecheck

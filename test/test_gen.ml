@@ -1,0 +1,77 @@
+(** Tests for the fuzzer's typed formula generators ({!Fuzz.Formgen}):
+    every generated sequent typechecks under its fragment's vocabulary,
+    respects the documented size bound, and is accepted by the fragment's
+    membership predicate; generation is a pure function of the seed. *)
+
+open Logic
+module Formgen = Fuzz.Formgen
+
+let pp_sequent s = Format.asprintf "%a" Sequent.pp s
+
+let arb frag ~size =
+  QCheck.make ~print:pp_sequent (Formgen.gen_sequent frag ~size)
+
+let count = 300
+let size = 3
+
+let prop_typechecks frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ " sequents typecheck")
+    ~count (arb frag ~size)
+    (fun s ->
+      match
+        Typecheck.check_formula ~env:(Formgen.type_env frag)
+          (Sequent.to_form s)
+      with
+      | _ -> true
+      | exception Typecheck.Type_error _ -> false)
+
+let prop_size_bound frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ " sequents respect the size bound")
+    ~count (arb frag ~size)
+    (fun s -> Formgen.sequent_size s <= Formgen.sequent_node_bound ~size)
+
+(* Membership: each fragment's sequents are accepted by the corresponding
+   prover's [in_fragment] — except when they trip the prover's own size
+   valve (Cooper and MONA cap their inputs), which is not a generator
+   defect. *)
+let prop_membership name pred ~size_valve frag =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s sequents admitted by %s" (Formgen.fragment_name frag)
+         name)
+    ~count (arb frag ~size)
+    (* measure the sequent the way the provers do: as one implication *)
+    (fun s -> pred s || Form.size (Sequent.to_form s) > size_valve)
+
+let prop_deterministic frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ " generation is seed-deterministic")
+    ~count:20
+    QCheck.(make Gen.(pair (int_bound 1000) (int_bound 200)))
+    (fun (seed, n) ->
+      let s1 = Formgen.sequent_of_seed frag ~seed ~size n in
+      let s2 = Formgen.sequent_of_seed frag ~seed ~size n in
+      Form.equal (Sequent.to_form s1) (Sequent.to_form s2))
+
+let props =
+  List.concat_map
+    (fun frag -> [ prop_typechecks frag; prop_size_bound frag ])
+    Formgen.all_fragments
+  @ [ prop_membership "smt" Smt.in_fragment ~size_valve:max_int Formgen.Euf;
+      prop_membership "smt" Smt.in_fragment ~size_valve:max_int
+        Formgen.Presburger;
+      prop_membership "cooper"
+        (Presburger.Lia.in_fragment
+           ~env:(Formgen.type_env Formgen.Presburger))
+        ~size_valve:Presburger.Lia.max_size Formgen.Presburger;
+      prop_membership "bapa" Bapa.in_fragment ~size_valve:max_int Formgen.Bapa;
+      (* MONA caps at 400 nodes *after* simplification, which can expand
+         connectives; stay well under it *)
+      prop_membership "mona" Fca.in_fragment ~size_valve:150 Formgen.Ws1s;
+    ]
+  @ List.map prop_deterministic [ Formgen.Euf; Formgen.Ws1s ]
+
+let suite =
+  [ ("gen", List.map QCheck_alcotest.to_alcotest props) ]

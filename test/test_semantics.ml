@@ -1,133 +1,12 @@
-(** Semantic preservation tests: a reference interpreter for the
-    specification logic over a small finite structure, used to check that
-    {!Logic.Simplify.simplify} and {!Logic.Simplify.nnf} preserve meaning
-    and that the pretty-printer/parser round trip does too.
-
-    The structure: objects are [0..3] (with [null] = 0), object sets are
-    bitmasks over the universe, integers are machine integers, and fields
-    are tabulated functions. *)
+(** Semantic preservation tests, running over the shared finite-model
+    evaluator {!Logic.Eval} (which also serves as the fuzzer's oracle):
+    {!Logic.Simplify.simplify} and {!Logic.Simplify.nnf} must preserve
+    meaning, and so must the pretty-printer/parser round trip.  A second
+    suite pins down the oracle itself ({!Logic.Eval.check}) on known-valid
+    and known-falsifiable sequents, including the two soundness bugs the
+    differential fuzzer found. *)
 
 open Logic
-
-type value =
-  | Vbool of bool
-  | Vint of int
-  | Vobj of int (* 0 = null *)
-  | Vset of int (* bitmask over objects 0..3 *)
-
-type env = {
-  obj_vars : (string * int) list;
-  int_vars : (string * int) list;
-  set_vars : (string * int) list;
-  field : int array; (* one unary function over the universe *)
-}
-
-exception Ill_sorted
-
-let universe = [ 0; 1; 2; 3 ]
-
-let rec eval (env : env) (f : Form.t) : value =
-  match Form.strip_types f with
-  | Form.Var x -> (
-    match List.assoc_opt x env.obj_vars with
-    | Some o -> Vobj o
-    | None -> (
-      match List.assoc_opt x env.int_vars with
-      | Some i -> Vint i
-      | None -> (
-        match List.assoc_opt x env.set_vars with
-        | Some s -> Vset s
-        | None -> raise Ill_sorted)))
-  | Form.Const (Form.BoolLit b) -> Vbool b
-  | Form.Const (Form.IntLit n) -> Vint n
-  | Form.Const Form.Null -> Vobj 0
-  | Form.Const Form.EmptySet -> Vset 0
-  | Form.Const Form.UnivSet -> Vset 15
-  | Form.App (Form.Const Form.Not, [ g ]) -> Vbool (not (as_bool env g))
-  | Form.App (Form.Const Form.And, gs) ->
-    Vbool (List.for_all (as_bool env) gs)
-  | Form.App (Form.Const Form.Or, gs) -> Vbool (List.exists (as_bool env) gs)
-  | Form.App (Form.Const Form.Impl, [ a; b ]) ->
-    Vbool ((not (as_bool env a)) || as_bool env b)
-  | Form.App (Form.Const Form.Iff, [ a; b ]) ->
-    Vbool (as_bool env a = as_bool env b)
-  | Form.App (Form.Const Form.Ite, [ c; a; b ]) ->
-    if as_bool env c then eval env a else eval env b
-  | Form.App (Form.Const Form.Eq, [ a; b ]) -> (
-    match eval env a, eval env b with
-    | Vbool x, Vbool y -> Vbool (x = y)
-    | Vint x, Vint y -> Vbool (x = y)
-    | Vobj x, Vobj y -> Vbool (x = y)
-    | Vset x, Vset y -> Vbool (x = y)
-    | _ -> raise Ill_sorted)
-  | Form.App (Form.Const Form.Lt, [ a; b ]) ->
-    Vbool (as_int env a < as_int env b)
-  | Form.App (Form.Const Form.Le, [ a; b ]) ->
-    Vbool (as_int env a <= as_int env b)
-  | Form.App (Form.Const Form.Gt, [ a; b ]) ->
-    Vbool (as_int env a > as_int env b)
-  | Form.App (Form.Const Form.Ge, [ a; b ]) ->
-    Vbool (as_int env a >= as_int env b)
-  | Form.App (Form.Const Form.Plus, [ a; b ]) ->
-    Vint (as_int env a + as_int env b)
-  | Form.App (Form.Const Form.Minus, [ a; b ]) ->
-    Vint (as_int env a - as_int env b)
-  | Form.App (Form.Const Form.Uminus, [ a ]) -> Vint (-as_int env a)
-  | Form.App (Form.Const Form.Mult, [ a; b ]) ->
-    Vint (as_int env a * as_int env b)
-  | Form.App (Form.Const Form.Elem, [ x; s ]) ->
-    Vbool ((as_set env s lsr as_obj env x) land 1 = 1)
-  | Form.App (Form.Const Form.Union, [ a; b ]) ->
-    Vset (as_set env a lor as_set env b)
-  | Form.App (Form.Const Form.Inter, [ a; b ]) ->
-    Vset (as_set env a land as_set env b)
-  | Form.App (Form.Const Form.Diff, [ a; b ]) ->
-    Vset (as_set env a land lnot (as_set env b) land 15)
-  | Form.App (Form.Const Form.Subseteq, [ a; b ]) ->
-    Vbool (as_set env a land lnot (as_set env b) land 15 = 0)
-  | Form.App (Form.Const Form.FiniteSet, es) ->
-    Vset
-      (List.fold_left (fun m e -> m lor (1 lsl as_obj env e)) 0 es)
-  | Form.App (Form.Const Form.Card, [ s ]) ->
-    let m = as_set env s in
-    Vint (List.length (List.filter (fun i -> (m lsr i) land 1 = 1) universe))
-  | Form.App (Form.Const Form.FieldRead, [ fld; x ]) -> (
-    match Form.strip_types fld with
-    | Form.Var "f" -> Vobj env.field.(as_obj env x)
-    | _ -> raise Ill_sorted)
-  | Form.Binder (Form.Forall, [ (x, _) ], body) ->
-    Vbool
-      (List.for_all
-         (fun o ->
-           as_bool { env with obj_vars = (x, o) :: env.obj_vars } body)
-         universe)
-  | Form.Binder (Form.Exists, [ (x, _) ], body) ->
-    Vbool
-      (List.exists
-         (fun o ->
-           as_bool { env with obj_vars = (x, o) :: env.obj_vars } body)
-         universe)
-  | Form.Binder (Form.Comprehension, [ (x, _) ], body) ->
-    Vset
-      (List.fold_left
-         (fun m o ->
-           if as_bool { env with obj_vars = (x, o) :: env.obj_vars } body
-           then m lor (1 lsl o)
-           else m)
-         0 universe)
-  | _ -> raise Ill_sorted
-
-and as_bool env g =
-  match eval env g with Vbool b -> b | _ -> raise Ill_sorted
-
-and as_int env g =
-  match eval env g with Vint i -> i | _ -> raise Ill_sorted
-
-and as_set env g =
-  match eval env g with Vset s -> s | _ -> raise Ill_sorted
-
-and as_obj env g =
-  match eval env g with Vobj o -> o | _ -> raise Ill_sorted
 
 (* ------------------------------------------------------------------ *)
 (* A well-sorted random formula generator                              *)
@@ -212,7 +91,9 @@ let gen_formula : Form.t QCheck.Gen.t =
   in
   sized (fun n -> formula (min (max 1 (n / 8)) 3))
 
-let gen_env : env QCheck.Gen.t =
+(* The structure: objects are [0..3] with [null] = 0, sets are bitmasks,
+   and the field [f] is a tabulated function — an {!Eval.model}. *)
+let gen_model : Eval.model QCheck.Gen.t =
   let open QCheck.Gen in
   let* xo = int_range 0 3 in
   let* yo = int_range 0 3 in
@@ -225,26 +106,26 @@ let gen_env : env QCheck.Gen.t =
   let* f2 = int_range 0 3 in
   let* f3 = int_range 0 3 in
   return
-    { obj_vars = [ ("x", xo); ("y", yo) ];
-      int_vars = [ ("i", i); ("j", j) ];
-      set_vars = [ ("s", s); ("t", t) ];
-      field = [| f0; f1; f2; f3 |];
+    { Eval.universe = 4;
+      vars =
+        [ ("x", Eval.Vobj xo); ("y", Eval.Vobj yo);
+          ("i", Eval.Vint i); ("j", Eval.Vint j);
+          ("s", Eval.Vset s); ("t", Eval.Vset t);
+          ("f", Eval.Vfun [| f0; f1; f2; f3 |]);
+        ];
     }
 
 let arb =
   QCheck.make
-    ~print:(fun (f, _) -> Pprint.to_string f)
-    QCheck.Gen.(pair gen_formula gen_env)
-
-let bool_of f env =
-  match eval env f with Vbool b -> Some b | _ -> None | exception Ill_sorted -> None
+    ~print:(fun (f, m) -> Pprint.to_string f ^ "  in  " ^ Eval.model_to_string m)
+    QCheck.Gen.(pair gen_formula gen_model)
 
 let preservation name transform =
-  QCheck.Test.make ~name ~count:500 arb (fun (f, env) ->
-      match bool_of f env with
+  QCheck.Test.make ~name ~count:500 arb (fun (f, m) ->
+      match Eval.truth_opt m f with
       | None -> true (* generator produced something out of model scope *)
       | Some before -> (
-        match bool_of (transform f) env with
+        match Eval.truth_opt m (transform f) with
         | Some after -> before = after
         | None -> false))
 
@@ -267,10 +148,118 @@ let prop_roundtrip_preserves =
       | Some f' -> Typecheck.disambiguate ~env:tenv f'
       | None -> Form.mk_false (* will be caught as a difference *))
 
+(* ------------------------------------------------------------------ *)
+(* Oracle regression cases: Eval.check on concrete sequents            *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_env =
+  Typecheck.env_of_list
+    [ ("s", Ftype.objset); ("t", Ftype.objset);
+      ("x", Ftype.Obj); ("y", Ftype.Obj);
+      ("f", Ftype.Arrow (Ftype.Obj, Ftype.Obj));
+    ]
+
+let check s = Eval.check ~env:oracle_env ~max_universe:3 ~int_range:4 s
+
+let expect_no_countermodel name s () =
+  match check s with
+  | Eval.No_countermodel _ -> ()
+  | o -> Alcotest.failf "%s: expected no countermodel, got %s" name
+           (Eval.outcome_to_string o)
+
+let expect_countermodel name s () =
+  match check s with
+  | Eval.Countermodel _ -> ()
+  | o -> Alcotest.failf "%s: expected a countermodel, got %s" name
+           (Eval.outcome_to_string o)
+
+let v = Form.mk_var
+
+(* the two sequents whose prover-side mishandling the fuzzer caught:
+   the smt null-field heap convention and the MONA set-variable
+   detection order (see test/corpus/) *)
+let null_field_seq =
+  Sequent.make
+    [ Form.mk_eq (v "x") Form.mk_null ]
+    (Form.mk_eq (Form.mk_field_read (v "f") (v "x")) Form.mk_null)
+
+let set_eq_membership_seq =
+  Sequent.make
+    [ Form.mk_eq (v "s") (v "t") ]
+    (Form.mk_impl (Form.mk_elem (v "x") (v "s")) (Form.mk_elem (v "x") (v "t")))
+
+let falsifiable_elem_seq = Sequent.make [] (Form.mk_elem (v "x") (v "s"))
+
+let falsifiable_subset_seq =
+  Sequent.make [ Form.mk_subseteq (v "s") (v "t") ]
+    (Form.mk_subseteq (v "t") (v "s"))
+
+let card_singleton_seq =
+  (* card {x, y} <= 2, and equals 1 exactly when x = y would make it
+     collapse — here just pin the upper bound *)
+  Sequent.make []
+    (Form.mk_le (Form.mk_card (Form.mk_finite_set [ v "x"; v "y" ]))
+       (Form.mk_int 2))
+
+let int_binder_unsupported () =
+  let s =
+    Sequent.make []
+      (Form.mk_forall [ ("i", Ftype.Int) ]
+         (Form.mk_le (Form.mk_int 0) (v "i")))
+  in
+  match check s with
+  | Eval.Unsupported_oracle _ -> ()
+  | o -> Alcotest.failf "expected unsupported (integer binder), got %s"
+           (Eval.outcome_to_string o)
+
+let truth_concrete () =
+  (* direct evaluation: field write read-back and reflexive reachability *)
+  let m =
+    { Eval.universe = 3;
+      vars = [ ("x", Eval.Vobj 1); ("y", Eval.Vobj 2);
+               ("f", Eval.Vfun [| 0; 2; 0 |]) ];
+    }
+  in
+  let wr =
+    Form.mk_eq
+      (Form.mk_field_read
+         (Form.mk_field_write (v "f") (v "x") (v "y"))
+         (v "x"))
+      (v "y")
+  in
+  Alcotest.(check bool) "x..(f[x:=y]) = y" true (Eval.truth m wr);
+  let step =
+    Form.mk_lambda
+      [ ("$u", Ftype.Obj); ("$v", Ftype.Obj) ]
+      (Form.mk_eq
+         (Form.mk_field_read (v "f") (v "$u"))
+         (v "$v"))
+  in
+  let reach = Form.mk_rtrancl step (v "x") (v "y") in
+  Alcotest.(check bool) "rtrancl f from x reaches y" true (Eval.truth m reach)
+
+let oracle_cases =
+  [ Alcotest.test_case "valid: null..f convention" `Quick
+      (expect_no_countermodel "null..f" null_field_seq);
+    Alcotest.test_case "valid: set equality gives membership" `Quick
+      (expect_no_countermodel "set-eq" set_eq_membership_seq);
+    Alcotest.test_case "falsifiable: bare membership" `Quick
+      (expect_countermodel "elem" falsifiable_elem_seq);
+    Alcotest.test_case "falsifiable: subset antisymmetry half" `Quick
+      (expect_countermodel "subset" falsifiable_subset_seq);
+    Alcotest.test_case "valid: card bound on a pair" `Quick
+      (expect_no_countermodel "card" card_singleton_seq);
+    Alcotest.test_case "integer binders are out of oracle scope" `Quick
+      int_binder_unsupported;
+    Alcotest.test_case "concrete evaluation: fieldWrite and rtrancl" `Quick
+      truth_concrete;
+  ]
+
 let suite =
   [ ( "semantics",
       [ QCheck_alcotest.to_alcotest prop_simplify_preserves;
         QCheck_alcotest.to_alcotest prop_nnf_preserves;
         QCheck_alcotest.to_alcotest prop_roundtrip_preserves;
       ] );
+    ("oracle", oracle_cases);
   ]
