@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI should run.
 
-.PHONY: all build test check fuzz-smoke bench bench-json clean
+.PHONY: all build test check fuzz-smoke perf-smoke bench bench-json clean
 
 all: build
 
@@ -24,12 +24,20 @@ check:
 	dune exec -- jahob trace-check trace_smoke.jsonl
 	rm -f trace_smoke.jsonl
 	$(MAKE) fuzz-smoke
+	$(MAKE) perf-smoke
 
 # a short fixed-seed differential fuzz of every fragment: any prover
 # disagreement (or prover-vs-oracle contradiction) exits non-zero
 fuzz-smoke:
 	dune exec -- jahob fuzz --seed 42 --count 40 --size 3
 	dune exec -- jahob fuzz --replay test/corpus
+
+# ratio guard for the hash-consing kernel (mirrors trace_overhead): the
+# experiment itself fails unless the cache-key microbenchmark keeps a
+# >=2x advantage, the end-to-end run does not regress, and verdicts are
+# identical with the kernel on and off; refreshes BENCH_hashcons.json
+perf-smoke:
+	dune exec bench/main.exe -- hashcons
 
 bench:
 	dune exec bench/main.exe

@@ -582,6 +582,155 @@ let trace_overhead () =
          ((ratio -. 1.) *. 100.))
 
 (* ------------------------------------------------------------------ *)
+(* HASHCONS: the hash-consed formula kernel, A/B                       *)
+(* ------------------------------------------------------------------ *)
+
+(* every obligation of the List figures — the canonicalize+digest
+   workload the dispatch cache pays on each lookup *)
+let hashcons_obligations () =
+  let files =
+    [ examples_dir ^ "/list/Client.java"; examples_dir ^ "/list/List.java" ]
+  in
+  let prog = List.concat_map Javaparser.Jparser.parse_program_file files in
+  List.concat_map Vcgen.method_obligations (Gcl.Desugar.program_tasks prog)
+
+(* a VC with exponential tree size but linear DAG size: each level
+   mentions the previous one twice through non-collapsing connectives
+   (mk_and would flatten [g; g] and mk_iff g g simplifies away) *)
+let deep_sharing_sequent depth =
+  let rec build k g =
+    if k = 0 then g
+    else
+      let p = Form.mk_var (Printf.sprintf "p%d" k) in
+      let q = Form.mk_var (Printf.sprintf "q%d" k) in
+      build (k - 1) (Form.mk_and [ Form.mk_impl g p; Form.mk_impl q g ])
+  in
+  let base = Form.mk_lt (Form.mk_var "x") (Form.mk_var "y") in
+  Sequent.make [ build depth base ] (Form.mk_var "p1")
+
+(* best-of-[runs] timing of [iters] repetitions of [work], under the
+   kernel switch [enabled]; memo tables are dropped before every sample,
+   so each sample pays the cold start honestly *)
+let hashcons_time ~enabled ~runs ~iters work =
+  let best = ref infinity in
+  for _ = 1 to runs do
+    Hashcons.set_enabled enabled;
+    Form.clear_memos ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      work ()
+    done;
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  Hashcons.set_enabled true;
+  !best
+
+let hashcons_bench () =
+  header "HASHCONS: hash-consed formula kernel — speedup and parity A/B";
+  Printf.printf
+    "the kernel interns every formula node once (weak sharded store) and\n\
+    \  memoizes the hot structural passes per node id: alpha-normalization,\n\
+    \  canonical printing, free variables, simplification, sequent digests.\n\
+    \  This times the dispatch cache-key workload and a full verification\n\
+    \  with the kernel on vs off (--no-hashcons), and fails unless the\n\
+    \  microbenchmark gains >=2x with no end-to-end regression and\n\
+    \  identical verdicts.\n";
+  (* -- microbenchmark: canonicalize + digest over the List obligations -- *)
+  let obligations = hashcons_obligations () in
+  Printf.printf "  workload: %d obligations from list/{Client,List}.java\n%!"
+    (List.length obligations);
+  let digest_all () =
+    List.iter (fun s -> ignore (Sequent.digest s)) obligations
+  in
+  let iters = 60 in
+  ignore (hashcons_time ~enabled:false ~runs:1 ~iters:2 digest_all);
+  (* warm up *)
+  let plain = hashcons_time ~enabled:false ~runs:5 ~iters digest_all in
+  let consed = hashcons_time ~enabled:true ~runs:5 ~iters digest_all in
+  let micro_speedup = plain /. consed in
+  Printf.printf
+    "  digest x%d:       plain %.4fs   hashcons %.4fs   speedup %.1fx\n%!"
+    iters plain consed micro_speedup;
+  (* -- synthetic deep-sharing VC: exponential tree, linear DAG -- *)
+  let deep = deep_sharing_sequent 14 in
+  let deep_work () = ignore (Sequent.digest deep) in
+  let deep_iters = 20 in
+  let deep_plain = hashcons_time ~enabled:false ~runs:3 ~iters:deep_iters deep_work in
+  let deep_consed = hashcons_time ~enabled:true ~runs:3 ~iters:deep_iters deep_work in
+  let deep_speedup = deep_plain /. deep_consed in
+  Printf.printf
+    "  deep-sharing x%d: plain %.4fs   hashcons %.4fs   speedup %.1fx\n%!"
+    deep_iters deep_plain deep_consed deep_speedup;
+  (* -- end-to-end: jahob verify with and without the kernel -- *)
+  let files =
+    [ examples_dir ^ "/list/Client.java"; examples_dir ^ "/list/List.java" ]
+  in
+  let prog = List.concat_map Javaparser.Jparser.parse_program_file files in
+  let verify use_hashcons =
+    Form.clear_memos ();
+    let opts =
+      { (Jahob_core.Jahob.default_options ()) with
+        Jahob_core.Jahob.use_hashcons }
+    in
+    time_it (fun () -> Jahob_core.Jahob.verify_program ~opts prog)
+  in
+  let counts (r : Jahob_core.Jahob.program_report) =
+    List.map
+      (fun (m : Jahob_core.Jahob.method_report) ->
+        let s = m.Jahob_core.Jahob.obligations in
+        ( m.Jahob_core.Jahob.method_name,
+          (s.Dispatch.total, s.Dispatch.valid, s.Dispatch.invalid,
+           s.Dispatch.unknown) ))
+      r.Jahob_core.Jahob.methods
+  in
+  let best_of_3 use_hashcons =
+    let results = List.init 3 (fun _ -> verify use_hashcons) in
+    let report = fst (List.hd results) in
+    (report, List.fold_left (fun b (_, dt) -> Float.min b dt) infinity results)
+  in
+  let report_off, e2e_plain = best_of_3 false in
+  let report_on, e2e_consed = best_of_3 true in
+  Hashcons.set_enabled true;
+  let ratio = e2e_consed /. e2e_plain in
+  let identical = counts report_off = counts report_on in
+  count_report report_on;
+  Printf.printf
+    "  end-to-end:       plain %.2fs   hashcons %.2fs   ratio %.3f   \
+     verdicts identical: %b\n%!"
+    e2e_plain e2e_consed ratio identical;
+  let json =
+    Printf.sprintf
+      "{\"microbench\":{\"iters\":%d,\"plain_s\":%.6f,\"hashcons_s\":%.6f,\
+       \"speedup\":%.2f},\"deep_sharing\":{\"depth\":14,\"iters\":%d,\
+       \"plain_s\":%.6f,\"hashcons_s\":%.6f,\"speedup\":%.2f},\
+       \"end_to_end\":{\"plain_s\":%.4f,\"hashcons_s\":%.4f,\
+       \"ratio\":%.4f,\"verdicts_identical\":%b}}"
+      iters plain consed micro_speedup deep_iters deep_plain deep_consed
+      deep_speedup e2e_plain e2e_consed ratio identical
+  in
+  let oc = open_out "BENCH_hashcons.json" in
+  Printf.fprintf oc "%s\n" json;
+  close_out oc;
+  Printf.printf "  wrote BENCH_hashcons.json\n%!";
+  note_json "hashcons" json;
+  (* pass/fail guards, mirroring trace_overhead's ratio check *)
+  if not identical then
+    failwith "verdicts differ between --no-hashcons and the kernel";
+  if micro_speedup < 2.0 then
+    failwith
+      (Printf.sprintf
+         "canonicalize+digest speedup %.2fx below the 2x bound" micro_speedup);
+  if deep_speedup < 2.0 then
+    failwith
+      (Printf.sprintf "deep-sharing speedup %.2fx below the 2x bound"
+         deep_speedup);
+  (* 5% is the target; the guard allows 10% to absorb CI timer noise *)
+  if ratio > 1.10 then
+    failwith
+      (Printf.sprintf "end-to-end regression %.1f%% exceeds the bound"
+         ((ratio -. 1.) *. 100.))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -644,6 +793,7 @@ let experiments =
     ("abl_shape", abl_shape);
     ("perf", perf);
     ("trace_overhead", trace_overhead);
+    ("hashcons", hashcons_bench);
     ("micro", micro);
     ("scaling", scaling);
   ]

@@ -71,6 +71,13 @@ let budget_arg =
            ~doc:"Wall-clock budget per prover call; a prover exceeding it \
                  answers unknown and the portfolio moves on")
 
+let no_hashcons_arg =
+  Arg.(value & flag
+       & info [ "no-hashcons" ]
+           ~doc:"Disable the hash-consed formula kernel and its memo \
+                 tables; every structural pass recomputes from scratch \
+                 (A/B escape hatch for benchmarking and debugging)")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -89,15 +96,16 @@ let trace_format_arg =
                  array)")
 
 let verify_cmd =
-  let run files no_inference provers stats jobs no_cache budget trace_file
-      trace_format =
+  let run files no_inference provers stats jobs no_cache budget no_hashcons
+      trace_file trace_format =
     with_frontend_errors (fun () ->
         let opts =
           { Jahob_core.Jahob.provers = select_provers provers;
             infer_loop_invariants = not no_inference;
             jobs;
             use_cache = not no_cache;
-            budget_s = budget }
+            budget_s = budget;
+            use_hashcons = not no_hashcons }
         in
         (* aggregate counters feed --stats; the sink feeds --trace *)
         if stats || trace_file <> None then Trace.start_collecting ();
@@ -117,8 +125,8 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc:"Verify all annotated methods")
     Term.(const run $ files_arg $ no_inference_arg $ provers_arg $ stats_arg
-          $ jobs_arg $ no_cache_arg $ budget_arg $ trace_arg
-          $ trace_format_arg)
+          $ jobs_arg $ no_cache_arg $ budget_arg $ no_hashcons_arg
+          $ trace_arg $ trace_format_arg)
 
 let vc_cmd =
   let run files =

@@ -406,21 +406,13 @@ let satisfiable (f : Form.t) : bool =
     (The decision procedure may still give up later — Omega inconclusive
     on a large Venn system — but such rejections surface as [Unknown].) *)
 let in_fragment (s : Sequent.t) : bool =
-  let refutand =
-    Form.mk_and (s.Sequent.hyps @ [ Form.mk_not s.Sequent.goal ])
-  in
-  match translate refutand with
+  match translate (Sequent.refutand s) with
   | _ -> true
   | exception Out_of_fragment _ -> false
 
 (** Prove a sequent in the BAPA fragment. *)
 let prove (s : Sequent.t) : Sequent.verdict =
-  match
-    let refutand =
-      Form.mk_and (s.Sequent.hyps @ [ Form.mk_not s.Sequent.goal ])
-    in
-    satisfiable refutand
-  with
+  match satisfiable (Sequent.refutand s) with
   | true ->
     (* the translation is complete on its fragment: a PA model yields a
        BAPA countermodel *)

@@ -30,11 +30,12 @@ type options = {
   jobs : int; (* worker domains; 1 = sequential *)
   use_cache : bool; (* memoize verdicts of repeated obligations *)
   budget_s : float option; (* wall-clock budget per prover call *)
+  use_hashcons : bool; (* the hash-consed formula kernel; off = plain *)
 }
 
 let default_options () =
   { provers = default_provers (); infer_loop_invariants = true;
-    jobs = 1; use_cache = true; budget_s = None }
+    jobs = 1; use_cache = true; budget_s = None; use_hashcons = true }
 
 (* loop-invariant inference uses the fast provers only; the full portfolio
    still checks the final obligations *)
@@ -55,6 +56,10 @@ let vcgen_options ?(drop = []) (opts : options)
 (** Verify every method of a parsed program. *)
 let verify_program ?(opts = default_options ()) (prog : Ast.program) :
     program_report =
+  (* the kernel switch is global (memo wrappers consult it on each call),
+     so flipping it here covers the whole pipeline, worker domains
+     included *)
+  Logic.Hashcons.set_enabled opts.use_hashcons;
   (* one pool serves both fan-out levels: methods are verified in
      parallel and each method's obligations are claimed from the same
      shared queue (Pool.map nests safely) *)

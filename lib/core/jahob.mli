@@ -32,6 +32,10 @@ type options = {
   budget_s : float option;
       (** wall-clock budget per prover call; [None] leaves provers
           unbounded *)
+  use_hashcons : bool;
+      (** enable the hash-consed formula kernel and its memo tables
+          ({!Logic.Hashcons}); [false] runs every structural pass plain —
+          the A/B escape hatch behind [jahob verify --no-hashcons] *)
 }
 
 val default_options : unit -> options

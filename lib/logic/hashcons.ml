@@ -1,0 +1,255 @@
+(** Type-safe modular hash-consing with a sharded, weak consing store.
+
+    After Filliâtre & Conchon, {e Type-Safe Modular Hash-Consing} (ML
+    Workshop 2006): every distinct node is stored at most once, in a weak
+    table so that nodes the program no longer references are reclaimed by
+    the GC.  [hashcons] returns a {!type:hash_consed} wrapper carrying a
+    unique [tag] and a precomputed [hkey], which makes equality, hashing
+    and memo-table lookups on consed values O(1).
+
+    {2 Domain safety}
+
+    The dispatcher proves obligations across OCaml 5 domains
+    ([lib/dispatch/pool.ml]) and all of them cons into one global store
+    per node type, so the store must tolerate concurrent consing.  Of the
+    two designs named in the kernel issue — per-domain stores with
+    id-disjoint tag ranges, or a sharded mutex-striped global table — we
+    use the {e sharded global table}: a node's [hkey] selects one of
+    [shards] independent sub-tables, each guarded by its own mutex, so two
+    domains only contend when their nodes hash into the same shard.
+    Per-domain stores were rejected because a formula consed in one domain
+    would then never be physically equal to the identical formula consed
+    in another, which defeats the whole point for the cross-domain verdict
+    cache and memo tables.
+
+    Tags come from a single global [Atomic] counter: unique across every
+    shard, store and domain, and {e never reused} — even after the weak
+    store drops a node, no later node gets its tag.  Memo tables keyed by
+    tag therefore can never alias a dead node's entry to a live one; a
+    stale entry is garbage, never a wrong answer. *)
+
+type 'a hash_consed = {
+  node : 'a;  (** the consed value *)
+  tag : int;  (** unique id; equal tags iff physically equal wrappers *)
+  hkey : int; (** the node's hash, precomputed *)
+}
+
+(* --------------------------------------------------------------- *)
+(* Global kill switch                                               *)
+(* --------------------------------------------------------------- *)
+
+(* The memoizing wrappers throughout lib/logic consult this switch and
+   fall back to their plain implementations when it is off: the
+   [--no-hashcons] escape hatch for A/B runs and debugging.  Reading it
+   is one atomic load.  [JAHOB_NO_HASHCONS] in the environment disables
+   the kernel before any code runs. *)
+let enabled_flag =
+  Atomic.make (Sys.getenv_opt "JAHOB_NO_HASHCONS" = None)
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* --------------------------------------------------------------- *)
+(* The consing store                                                *)
+(* --------------------------------------------------------------- *)
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+  (** Structural equality {e one level deep}: children of a node are
+      already consed, so implementations compare them with [==] — this is
+      what keeps consing O(1) per node. *)
+
+  val hash : t -> int
+  (** Must agree with [equal]; children contribute their [hkey]. *)
+end
+
+module type S = sig
+  type key
+  type t
+
+  val create : ?shards:int -> unit -> t
+  val hashcons : t -> key -> key hash_consed
+  val count : t -> int
+end
+
+(* one tag sequence for every store in the program: tags are then unique
+   program-wide, which lets memo tables be shared across node types *)
+let next_tag = Atomic.make 0
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+module Make (H : HashedType) : S with type key = H.t = struct
+  type key = H.t
+  type data = H.t hash_consed
+
+  type shard = {
+    lock : Mutex.t;
+    mutable table : data Weak.t array; (* buckets of weak pointers *)
+    mutable size : int;                (* live entries, approximate *)
+  }
+
+  type t = { shards : shard array; shard_mask : int }
+
+  let create ?(shards = 16) () =
+    let n = round_pow2 (max 1 shards) in
+    { shards =
+        Array.init n (fun _ ->
+            { lock = Mutex.create ();
+              table = Array.init 64 (fun _ -> Weak.create 0);
+              size = 0 });
+      shard_mask = n - 1 }
+
+  (* index of a node within a shard's bucket array; skips the low bits
+     that selected the shard *)
+  let index hkey len = (hkey lsr 6) mod len
+
+  (* append [d] to the bucket at [idx], growing the weak array if every
+     slot is occupied.  Caller holds the shard lock. *)
+  let bucket_add (sh : shard) idx (d : data) =
+    let b = sh.table.(idx) in
+    let len = Weak.length b in
+    let rec free i = if i >= len then None else if Weak.check b i then free (i + 1) else Some i in
+    match free 0 with
+    | Some i -> Weak.set b i (Some d)
+    | None ->
+      let nb = Weak.create (max 3 (2 * len)) in
+      Weak.blit b 0 nb 0 len;
+      Weak.set nb len (Some d);
+      sh.table.(idx) <- nb
+
+  (* double the bucket array and redistribute the live entries; also
+     refreshes the approximate live count.  Caller holds the shard lock. *)
+  let resize (sh : shard) =
+    let old = sh.table in
+    let nlen = (2 * Array.length old) + 1 in
+    sh.table <- Array.init nlen (fun _ -> Weak.create 0);
+    sh.size <- 0;
+    Array.iter
+      (fun b ->
+        for i = 0 to Weak.length b - 1 do
+          match Weak.get b i with
+          | Some d ->
+            bucket_add sh (index d.hkey nlen) d;
+            sh.size <- sh.size + 1
+          | None -> ()
+        done)
+      old
+
+  let hashcons (t : t) (k : key) : data =
+    let hk = H.hash k land max_int in
+    let sh = t.shards.(hk land t.shard_mask) in
+    Mutex.lock sh.lock;
+    let len = Array.length sh.table in
+    let idx = index hk len in
+    let b = sh.table.(idx) in
+    let blen = Weak.length b in
+    let rec find i =
+      if i >= blen then None
+      else
+        match Weak.get b i with
+        | Some d when d.hkey = hk && H.equal d.node k -> Some d
+        | _ -> find (i + 1)
+    in
+    let r =
+      match find 0 with
+      | Some d -> d
+      | None ->
+        let d = { node = k; tag = Atomic.fetch_and_add next_tag 1; hkey = hk } in
+        bucket_add sh idx d;
+        sh.size <- sh.size + 1;
+        if sh.size > 3 * len then resize sh;
+        d
+    in
+    Mutex.unlock sh.lock;
+    r
+
+  let count (t : t) =
+    Array.fold_left
+      (fun acc sh ->
+        Mutex.lock sh.lock;
+        let n = ref 0 in
+        Array.iter
+          (fun b ->
+            for i = 0 to Weak.length b - 1 do
+              if Weak.check b i then incr n
+            done)
+          sh.table;
+        Mutex.unlock sh.lock;
+        acc + !n)
+      0 t.shards
+end
+
+(* --------------------------------------------------------------- *)
+(* Memo tables keyed by tag                                         *)
+(* --------------------------------------------------------------- *)
+
+(** Mutex-striped memo tables keyed by a consed node's [tag].  Because
+    tags are never reused, entries can never alias; because the memoized
+    functions are pure, two domains racing to fill the same entry both
+    compute the same answer and either may win.  The computation runs
+    {e outside} the stripe lock, so memoized functions may recurse into
+    their own (or any other) memo table. *)
+module Memo = struct
+  type 'a t = {
+    locks : Mutex.t array;
+    tables : (int, 'a) Hashtbl.t array;
+    mask : int;
+  }
+
+  (* every table registers a clear closure so [clear_all] can reset the
+     kernel (benchmarks A/B cold starts, long-running processes) *)
+  let clearers : (unit -> unit) list ref = ref []
+  let clearers_lock = Mutex.create ()
+
+  let clear (m : 'a t) =
+    Array.iteri
+      (fun i tbl ->
+        Mutex.lock m.locks.(i);
+        Hashtbl.reset tbl;
+        Mutex.unlock m.locks.(i))
+      m.tables
+
+  let create ?(shards = 16) () : 'a t =
+    let n = round_pow2 (max 1 shards) in
+    let m =
+      { locks = Array.init n (fun _ -> Mutex.create ());
+        tables = Array.init n (fun _ -> Hashtbl.create 64);
+        mask = n - 1 }
+    in
+    Mutex.lock clearers_lock;
+    clearers := (fun () -> clear m) :: !clearers;
+    Mutex.unlock clearers_lock;
+    m
+
+  (* tags are never reused, so entries for dead nodes are unreachable
+     garbage; dropping a full stripe wholesale costs only recomputation *)
+  let max_stripe_entries = 16_384
+
+  let find_or_add (m : 'a t) (tag : int) (compute : unit -> 'a) : 'a =
+    let i = tag land m.mask in
+    let lock = m.locks.(i) and tbl = m.tables.(i) in
+    Mutex.lock lock;
+    let cached = Hashtbl.find_opt tbl tag in
+    Mutex.unlock lock;
+    match cached with
+    | Some v -> v
+    | None ->
+      let v = compute () in
+      Mutex.lock lock;
+      if Hashtbl.length tbl >= max_stripe_entries then Hashtbl.reset tbl;
+      (* first writer wins; racing writers computed the same pure value *)
+      if not (Hashtbl.mem tbl tag) then Hashtbl.add tbl tag v;
+      Mutex.unlock lock;
+      v
+
+  (** Empty every memo table created so far, in every module. *)
+  let clear_all () =
+    Mutex.lock clearers_lock;
+    let fs = !clearers in
+    Mutex.unlock clearers_lock;
+    List.iter (fun f -> f ()) fs
+end

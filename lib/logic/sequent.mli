@@ -42,6 +42,11 @@ val canonicalize : t -> t
     ambiguous on both, which made it unsound as a cache key. *)
 val digest : t -> string
 
+(** The sequent's refutation form, [Simplify.simplify (hyps /\ ~goal)] —
+    the formula the refutation-based provers (smt, bapa, fol) translate.
+    Centralized so they share one memoized simplification per obligation. *)
+val refutand : t -> Form.t
+
 val pp : Format.formatter -> t -> unit
 val verdict_to_string : verdict -> string
 

@@ -726,10 +726,7 @@ let check_sat (f : Form.t) : [ `Sat of bool | `Unsat ] =
     of the refutand produces no opaque atoms — the condition under which
     [prove] would trust a countermodel enough to answer [Invalid]. *)
 let in_fragment (s : Sequent.t) : bool =
-  let refutand =
-    Form.mk_and (s.Sequent.hyps @ [ Form.mk_not s.Sequent.goal ])
-  in
-  let f = Simplify.simplify refutand in
+  let f = Sequent.refutand s in
   let ctx = fresh_ctx () in
   let clauses = ref [] in
   match tseitin ctx clauses f with
@@ -741,10 +738,9 @@ let in_fragment (s : Sequent.t) : bool =
 
 (** Prove a sequent by refuting hypotheses + negated goal. *)
 let prove (s : Sequent.t) : Sequent.verdict =
-  let refutand =
-    Form.mk_and (s.Sequent.hyps @ [ Form.mk_not s.Sequent.goal ])
-  in
-  match check_sat refutand with
+  (* [Sequent.refutand] is simplified through the shared memo, so the
+     in_fragment probe and the proof attempt pay for one simplification *)
+  match check_sat (Sequent.refutand s) with
   | `Unsat -> Sequent.Valid
   | `Sat true -> Sequent.Invalid "SMT found a theory-consistent countermodel"
   | `Sat false ->

@@ -1,0 +1,219 @@
+(** Properties of the hash-consing formula kernel ({!Logic.Hashcons},
+    {!Logic.Form.import}): interning identifies exactly the structurally
+    equal trees, export inverts import, every memoized pass agrees with
+    its plain counterpart, and the global store gives the same answers
+    under concurrent consing from several domains.  Formulas come from
+    the fuzzer's typed generators, over all five prover fragments. *)
+
+open Logic
+module Formgen = Fuzz.Formgen
+module G = QCheck.Gen
+
+let pp_form f = Format.asprintf "%a" Pprint.pp f
+
+let arb_form frag =
+  QCheck.make ~print:pp_form (Formgen.gen_formula frag ~fuel:3)
+
+let arb_form_pair frag =
+  QCheck.make
+    ~print:(fun (a, b) -> pp_form a ^ " / " ^ pp_form b)
+    (G.pair (Formgen.gen_formula frag ~fuel:3) (Formgen.gen_formula frag ~fuel:3))
+
+let arb_sequent frag =
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Sequent.pp s)
+    (Formgen.gen_sequent frag ~size:3)
+
+let count = 150
+
+(* a structurally identical tree with no physical sharing with [f]:
+   interning must map both to the same node anyway *)
+let rec rebuild (f : Form.t) : Form.t =
+  match f with
+  | Form.Var x -> Form.Var x
+  | Form.Const c -> Form.Const c
+  | Form.App (g, args) -> Form.App (rebuild g, List.map rebuild args)
+  | Form.Binder (b, vars, body) -> Form.Binder (b, List.map (fun v -> v) vars, rebuild body)
+  | Form.TypedForm (g, ty) -> Form.TypedForm (rebuild g, ty)
+
+(* run [k] with the kernel disabled, restoring the switch afterwards *)
+let without_kernel k =
+  Hashcons.set_enabled false;
+  Fun.protect ~finally:(fun () -> Hashcons.set_enabled true) k
+
+let for_all_fragments mk = List.map mk Formgen.all_fragments
+
+(* ------------------------------------------------------------------ *)
+(* Interning is exactly structural identity                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_tag_iff_structural frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": equal tags iff equal trees")
+    ~count (arb_form_pair frag)
+    (fun (a, b) ->
+      let ta = Form.htag (Form.import a) and tb = Form.htag (Form.import b) in
+      (ta = tb) = (a = b))
+
+let prop_rebuild_same_tag frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": a rebuilt copy interns to the same node")
+    ~count (arb_form frag)
+    (fun f ->
+      Form.htag (Form.import f) = Form.htag (Form.import (rebuild f)))
+
+let prop_export_import_id frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": export after import is the identity")
+    ~count (arb_form frag)
+    (fun f -> Form.export (Form.import f) = f)
+
+(* ------------------------------------------------------------------ *)
+(* Memoized passes agree with the plain ones                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_fv_memo frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": memoized free variables = plain")
+    ~count (arb_form frag)
+    (fun f ->
+      Form.Sset.equal (Form.hfv (Form.import f)) (Form.fv f)
+      && Form.Sset.equal (Form.fv_shared f) (Form.fv f))
+
+let prop_size_memo frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": memoized size = plain")
+    ~count (arb_form frag)
+    (fun f ->
+      Form.hsize (Form.import f) = Form.size f
+      && Form.size_shared f = Form.size f)
+
+let prop_alpha_memo frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": memoized alpha-normalization = plain")
+    ~count (arb_form frag)
+    (fun f ->
+      Form.alpha_normalize_shared ~keep_types:true f
+      = Form.alpha_normalize ~keep_types:true f
+      && Form.alpha_normalize_shared f = Form.alpha_normalize f)
+
+let prop_canonical_memo frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": memoized canonical printing = plain")
+    ~count (arb_form frag)
+    (fun f ->
+      let with_kernel = Pprint.to_canonical_string f in
+      let plain = without_kernel (fun () -> Pprint.to_canonical_string f) in
+      String.equal with_kernel plain)
+
+let prop_digest_memo frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": memoized sequent digest = plain")
+    ~count:60 (arb_sequent frag)
+    (fun s ->
+      let with_kernel = Sequent.digest s in
+      let plain = without_kernel (fun () -> Sequent.digest s) in
+      String.equal with_kernel plain)
+
+(* beta reduction mints fresh binder names, so two simplify runs agree
+   only up to alpha-renaming — which is what [Form.equal] checks *)
+let prop_simplify_shared frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": memoized simplify ~ plain (alpha)")
+    ~count (arb_form frag)
+    (fun f ->
+      Form.equal (Simplify.simplify_shared f) (Simplify.simplify_plain f))
+
+let prop_subst_shared frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": pruning substitution = plain")
+    ~count (arb_form frag)
+    (fun f ->
+      (* intern first so the opportunistic probe takes the pruning path;
+         a var absent from [f] exercises the pruned-to-empty shortcut *)
+      ignore (Form.import f);
+      let map =
+        Form.Sset.fold
+          (fun x m -> Form.Smap.add x (Form.Var ("r_" ^ x)) m)
+          (Form.fv f)
+          (Form.Smap.singleton "absent_from_f" (Form.Var "r"))
+      in
+      Form.subst_shared map f = Form.subst map f)
+
+let prop_equal_shared frag =
+  QCheck.Test.make
+    ~name:(Formgen.fragment_name frag ^ ": kernel alpha-equivalence = plain")
+    ~count (arb_form_pair frag)
+    (fun (a, b) ->
+      Form.equal_shared a b = Form.equal a b
+      && Form.equal_shared a (Form.alpha_normalize a))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent consing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Four domains intern rebuilt (unshared) copies of the same formulas
+   while also exercising the memo tables; the global store must hand
+   every domain the same node, hence the same tag, and the memos must
+   agree with the plain passes computed by the main domain. *)
+let stress_domains () =
+  let forms =
+    List.concat_map
+      (fun frag ->
+        List.init 25 (fun n ->
+            Sequent.to_form
+              (Formgen.sequent_of_seed frag ~seed:42 ~size:3 n)))
+      Formgen.all_fragments
+  in
+  let work () =
+    List.map
+      (fun f ->
+        let h = Form.import (rebuild f) in
+        (Form.htag h, Form.Sset.cardinal (Form.hfv h), Form.hsize h))
+      forms
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn work) in
+  let results = List.map Domain.join domains in
+  let reference =
+    List.map (fun f -> (Form.Sset.cardinal (Form.fv f), Form.size f)) forms
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "one answer per formula" (List.length forms)
+        (List.length r);
+      List.iter2
+        (fun (_, nfv, sz) (nfv', sz') ->
+          Alcotest.(check int) "free-variable count" nfv' nfv;
+          Alcotest.(check int) "size" sz' sz)
+        r reference)
+    results;
+  match results with
+  | first :: rest ->
+    List.iter
+      (fun r ->
+        List.iter2
+          (fun (t1, _, _) (t2, _, _) ->
+            Alcotest.(check int) "same tag in every domain" t1 t2)
+          first r)
+      rest
+  | [] -> assert false
+
+let props =
+  List.concat
+    [ for_all_fragments prop_tag_iff_structural;
+      for_all_fragments prop_rebuild_same_tag;
+      for_all_fragments prop_export_import_id;
+      for_all_fragments prop_fv_memo;
+      for_all_fragments prop_size_memo;
+      for_all_fragments prop_alpha_memo;
+      for_all_fragments prop_canonical_memo;
+      for_all_fragments prop_digest_memo;
+      for_all_fragments prop_simplify_shared;
+      for_all_fragments prop_subst_shared;
+      for_all_fragments prop_equal_shared ]
+
+let suite =
+  [ ( "hashcons",
+      List.map QCheck_alcotest.to_alcotest props
+      @ [ Alcotest.test_case "4-domain concurrent consing" `Quick
+            stress_domains ] ) ]
