@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI should run.
 
-.PHONY: all build test check fuzz-smoke perf-smoke bench bench-json clean
+.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench bench-json clean
 
 all: build
 
@@ -25,6 +25,7 @@ check:
 	rm -f trace_smoke.jsonl
 	$(MAKE) fuzz-smoke
 	$(MAKE) perf-smoke
+	$(MAKE) bench-sched
 
 # a short fixed-seed differential fuzz of every fragment: any prover
 # disagreement (or prover-vs-oracle contradiction) exits non-zero
@@ -38,6 +39,14 @@ fuzz-smoke:
 # identical with the kernel on and off; refreshes BENCH_hashcons.json
 perf-smoke:
 	dune exec bench/main.exe -- hashcons
+
+# guarded A/B of the adaptive scheduler: the experiment fails unless
+# adaptive routing+ordering beats the fixed cascade by >=15% end to end
+# with identical verdicts, pre-routing actually skips, racing actually
+# races, and a 50ms budget cancels a ~0.3s prover cooperatively;
+# refreshes BENCH_sched.json
+bench-sched:
+	dune exec bench/main.exe -- sched
 
 bench:
 	dune exec bench/main.exe

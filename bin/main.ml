@@ -17,7 +17,7 @@ let no_inference_arg =
 let provers_arg =
   Arg.(value & opt (some string) None
        & info [ "provers" ]
-           ~doc:"Comma-separated prover order (smt, bapa, mona, fol)")
+           ~doc:"Comma-separated prover order (smt, bapa, mona, fol, cooper)")
 
 let select_provers (spec : string option) : Logic.Sequent.prover list =
   match spec with
@@ -30,6 +30,7 @@ let select_provers (spec : string option) : Logic.Sequent.prover list =
          | "bapa" -> Bapa.prover
          | "mona" -> Fca.prover
          | "fol" -> Fol.prover
+         | "cooper" -> Presburger.Lia.prover
          | other -> failwith ("unknown prover: " ^ other))
 
 (* human-readable front-end failures instead of raw exceptions *)
@@ -78,6 +79,29 @@ let no_hashcons_arg =
                  tables; every structural pass recomputes from scratch \
                  (A/B escape hatch for benchmarking and debugging)")
 
+let sched_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("adaptive", Dispatch.Sched.Adaptive);
+                ("fixed", Dispatch.Sched.Fixed) ])
+           Dispatch.Sched.Adaptive
+       & info [ "sched" ] ~docv:"POLICY"
+           ~doc:"Portfolio scheduling: $(b,adaptive) skips provers whose \
+                 fragment rejects the obligation and orders the rest by \
+                 learned expected cost-to-solve; $(b,fixed) replays the \
+                 declared cascade order (skipping is sound — only provers \
+                 that would answer unknown are skipped — so verdicts are \
+                 identical under both policies)")
+
+let race_arg =
+  Arg.(value & opt int 1
+       & info [ "race" ] ~docv:"K"
+           ~doc:"Race up to $(docv) admitted provers per obligation on \
+                 idle worker domains; the first settled verdict wins and \
+                 the losers are cancelled at their next deadline \
+                 checkpoint.  Requires --jobs > 1 to actually overlap")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -97,7 +121,7 @@ let trace_format_arg =
 
 let verify_cmd =
   let run files no_inference provers stats jobs no_cache budget no_hashcons
-      trace_file trace_format =
+      sched race trace_file trace_format =
     with_frontend_errors (fun () ->
         let opts =
           { Jahob_core.Jahob.provers = select_provers provers;
@@ -105,7 +129,9 @@ let verify_cmd =
             jobs;
             use_cache = not no_cache;
             budget_s = budget;
-            use_hashcons = not no_hashcons }
+            use_hashcons = not no_hashcons;
+            sched;
+            race }
         in
         (* aggregate counters feed --stats; the sink feeds --trace *)
         if stats || trace_file <> None then Trace.start_collecting ();
@@ -126,7 +152,7 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Verify all annotated methods")
     Term.(const run $ files_arg $ no_inference_arg $ provers_arg $ stats_arg
           $ jobs_arg $ no_cache_arg $ budget_arg $ no_hashcons_arg
-          $ trace_arg $ trace_format_arg)
+          $ sched_arg $ race_arg $ trace_arg $ trace_format_arg)
 
 let vc_cmd =
   let run files =
@@ -278,8 +304,17 @@ let fuzz_cmd =
              ~doc:"Instead of fuzzing, replay every .seq file in $(docv) \
                    and fail if any disagreement persists")
   in
+  let no_sched_check_arg =
+    Arg.(value & flag
+         & info [ "no-sched-check" ]
+             ~doc:"Skip the scheduler cross-check (by default every \
+                   sequent also runs through a fixed-order and an \
+                   adaptive dispatcher, and any verdict-kind difference \
+                   is flagged: reordering and fragment skipping must \
+                   never change Valid/Invalid)")
+  in
   let run seed count size fragment budget corpus no_oracle max_universe
-      int_range max_models replay =
+      int_range max_models replay no_sched_check =
     let cfg =
       { Fuzz.Differ.seed;
         count;
@@ -289,6 +324,7 @@ let fuzz_cmd =
         max_universe;
         int_range;
         max_models = (if max_models <= 0 then None else Some max_models);
+        check_sched = not no_sched_check;
       }
     in
     match replay with
@@ -340,7 +376,7 @@ let fuzz_cmd =
              finite-model oracle")
     Term.(const run $ seed_arg $ count_arg $ size_arg $ fragment_arg
           $ fuzz_budget_arg $ corpus_arg $ no_oracle_arg $ max_universe_arg
-          $ int_range_arg $ max_models_arg $ replay_arg)
+          $ int_range_arg $ max_models_arg $ replay_arg $ no_sched_check_arg)
 
 let main_cmd =
   Cmd.group

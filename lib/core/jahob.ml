@@ -24,6 +24,20 @@ type program_report = {
 let default_provers () : Logic.Sequent.prover list =
   [ Smt.prover; Bapa.prover; Fca.prover; Fol.prover ]
 
+(** Fragment-admission predicates for the scheduler, keyed by prover
+    name.  Only provers whose [in_fragment = false] {e provably} implies
+    [prove = Unknown] may appear here — each of these fails in the same
+    translation front end its predicate runs, so a skip can never change
+    a verdict.  The SMT prover is deliberately absent: it abstracts
+    out-of-fragment atoms propositionally ([Smt.in_fragment] false merely
+    means "some atom is opaque") and can still settle such goals, so it
+    must always be offered the sequent. *)
+let default_admissions () : (string * (Logic.Sequent.t -> bool)) list =
+  [ ("bapa", Bapa.in_fragment);
+    ("mona", Fca.in_fragment);
+    ("fol", Fol.in_fragment);
+    ("cooper", fun s -> Presburger.Lia.in_fragment s) ]
+
 type options = {
   provers : Logic.Sequent.prover list;
   infer_loop_invariants : bool; (* use symbolic shape analysis *)
@@ -31,11 +45,14 @@ type options = {
   use_cache : bool; (* memoize verdicts of repeated obligations *)
   budget_s : float option; (* wall-clock budget per prover call *)
   use_hashcons : bool; (* the hash-consed formula kernel; off = plain *)
+  sched : Dispatch.Sched.policy; (* fixed cascade or adaptive routing *)
+  race : int; (* admitted provers raced per obligation; 1 = cascade *)
 }
 
 let default_options () =
   { provers = default_provers (); infer_loop_invariants = true;
-    jobs = 1; use_cache = true; budget_s = None; use_hashcons = true }
+    jobs = 1; use_cache = true; budget_s = None; use_hashcons = true;
+    sched = Dispatch.Sched.Adaptive; race = 1 }
 
 (* loop-invariant inference uses the fast provers only; the full portfolio
    still checks the final obligations *)
@@ -70,7 +87,11 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
     if opts.use_cache then Some (Dispatch.Cache.create ()) else None
   in
   let dispatcher =
-    Dispatch.create ?pool ?cache ?budget_s:opts.budget_s opts.provers
+    Dispatch.create ?pool ?cache ?budget_s:opts.budget_s
+      ~sched:
+        (Dispatch.Sched.create ~policy:opts.sched ~race:opts.race
+           ~admits:(default_admissions ()) ())
+      opts.provers
   in
   let tasks =
     Trace.with_span ~cat:"frontend" "desugar" (fun () ->

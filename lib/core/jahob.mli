@@ -22,6 +22,13 @@ type program_report = {
     and the first-order prover. *)
 val default_provers : unit -> Logic.Sequent.prover list
 
+(** Fragment-admission predicates for the adaptive scheduler, keyed by
+    prover name.  Listed provers are skipped on sequents their
+    [in_fragment] rejects — sound because each of these fails in the same
+    translation front end the predicate runs.  SMT is deliberately
+    absent (it can settle goals with atoms it abstracts as opaque). *)
+val default_admissions : unit -> (string * (Logic.Sequent.t -> bool)) list
+
 type options = {
   provers : Logic.Sequent.prover list;
   infer_loop_invariants : bool;
@@ -36,6 +43,16 @@ type options = {
       (** enable the hash-consed formula kernel and its memo tables
           ({!Logic.Hashcons}); [false] runs every structural pass plain —
           the A/B escape hatch behind [jahob verify --no-hashcons] *)
+  sched : Dispatch.Sched.policy;
+      (** [Adaptive] (the default) routes each obligation through
+          fragment admission and the learned prover ordering;
+          [Fixed] replays the legacy portfolio-order cascade — the
+          escape hatch behind [jahob verify --sched fixed] *)
+  race : int;
+      (** how many admitted provers to race per obligation on idle pool
+          domains (losers are cancelled at their next {!Deadline}
+          checkpoint); 1 (the default) runs the plain cascade.  Only
+          effective with [jobs > 1]. *)
 }
 
 val default_options : unit -> options

@@ -19,14 +19,17 @@
 open Logic
 
 (* re-export the sibling modules: [dispatch] is this library's main
-   module, so [Pool] and [Cache] are only reachable through it *)
+   module, so [Pool], [Cache] and [Sched] are only reachable through it *)
 module Pool = Pool
 module Cache = Cache
+module Sched = Sched
 
 type prover_stats = {
   mutable attempts : int;
   mutable proved : int;
   mutable refuted : int;
+  mutable raised : int; (* attempts that ended in an exception *)
+  mutable skipped : int; (* attempts avoided by fragment pre-routing *)
 }
 
 type report = {
@@ -42,6 +45,7 @@ type t = {
   stats_mutex : Mutex.t; (* guards [stats]: domains update it concurrently *)
   pool : Pool.t option; (* fan obligations out when present *)
   cache : Cache.t option; (* verdict memoization when present *)
+  sched : Sched.t; (* routing/ordering policy for the cascade *)
   mutable simplify_first : bool;
   mutable filter_assumptions : bool;
   mutable ground_saturate : bool;
@@ -53,41 +57,62 @@ type t = {
 
 (** [with_budget ~budget_s p] answers [Unknown] once [p] has run for
     [budget_s] seconds of wall-clock time, so one pathological query
-    cannot stall the portfolio.  The prover runs in a helper thread that
-    is abandoned on timeout (OCaml cannot interrupt pure computation);
-    abandoned threads finish on their own and their verdicts are
-    discarded. *)
+    cannot stall the portfolio.  The prover runs in a helper thread under
+    a {!Deadline} token; on timeout the waiter {e cancels} the token and
+    returns immediately — the helper then stops at its next checkpoint
+    (every search loop in the portfolio polls one) instead of burning a
+    core to completion as the pre-deadline implementation did.
+
+    The helper's token is parented to the calling thread's token, if any,
+    so an enclosing race that cancels its losers reaches through the
+    budget wrapper.  Exceptions other than {!Deadline.Expired} are
+    re-raised in the caller, where the dispatcher counts them. *)
 let with_budget ~(budget_s : float) (p : Sequent.prover) : Sequent.prover =
   { Sequent.prover_name = p.Sequent.prover_name;
     prove =
       (fun s ->
+        let caller = Deadline.current () in
+        let token = Deadline.make ~deadline_in:budget_s ?parent:caller () in
         let result = Atomic.make None in
         let (_ : Thread.t) =
           Thread.create
             (fun () ->
-              let v =
-                try p.Sequent.prove s
-                with e ->
-                  Sequent.Unknown
-                    ("prover raised " ^ Printexc.to_string e)
+              let r =
+                try Ok (Deadline.with_token token (fun () -> p.Sequent.prove s))
+                with e -> Error e
               in
-              Atomic.set result (Some v))
+              Atomic.set result (Some r))
             ()
         in
-        let deadline = Unix.gettimeofday () +. budget_s in
         let rec wait delay =
           match Atomic.get result with
-          | Some v -> v
+          | Some (Ok v) -> v
+          | Some (Error Deadline.Expired) ->
+            (* the helper noticed the cancellation first *)
+            Trace.incr "deadline.cancelled";
+            Sequent.Unknown "attempt cancelled"
+          | Some (Error e) -> raise e
           | None ->
-            if Unix.gettimeofday () >= deadline then begin
-              Trace.incr "budget.exceeded";
-              Trace.instant ~cat:"budget"
-                ~args:(fun () ->
-                  [ ("prover", Trace.S p.Sequent.prover_name);
-                    ("budget_s", Trace.F budget_s) ])
-                "exceeded";
-              Sequent.Unknown
-                (Printf.sprintf "budget of %gs exceeded" budget_s)
+            if Deadline.expired token then begin
+              (* budget elapsed, or an enclosing token (a race that
+                 already settled) was cancelled: stop the helper at its
+                 next checkpoint and answer now *)
+              let raced_away = Deadline.cancel_requested token in
+              Deadline.cancel token;
+              if raced_away then begin
+                Trace.incr "deadline.cancelled";
+                Sequent.Unknown "attempt cancelled"
+              end
+              else begin
+                Trace.incr "budget.exceeded";
+                Trace.instant ~cat:"budget"
+                  ~args:(fun () ->
+                    [ ("prover", Trace.S p.Sequent.prover_name);
+                      ("budget_s", Trace.F budget_s) ])
+                  "exceeded";
+                Sequent.Unknown
+                  (Printf.sprintf "budget of %gs exceeded" budget_s)
+              end
             end
             else begin
               Thread.delay delay;
@@ -97,21 +122,24 @@ let with_budget ~(budget_s : float) (p : Sequent.prover) : Sequent.prover =
         wait 2e-4) }
 
 let create ?(simplify_first = true) ?(filter_assumptions = true)
-    ?(ground_saturate = true) ?pool ?cache ?budget_s
+    ?(ground_saturate = true) ?pool ?cache ?budget_s ?sched
     (provers : Sequent.prover list) : t =
   let provers =
     match budget_s with
     | None -> provers
     | Some budget_s -> List.map (with_budget ~budget_s) provers
   in
+  let sched = match sched with Some s -> s | None -> Sched.create () in
   { provers; stats = Hashtbl.create 8; stats_mutex = Mutex.create ();
-    pool; cache; simplify_first; filter_assumptions; ground_saturate }
+    pool; cache; sched; simplify_first; filter_assumptions; ground_saturate }
+
+let sched (d : t) : Sched.t = d.sched
 
 let stats_for (d : t) (name : string) : prover_stats =
   match Hashtbl.find_opt d.stats name with
   | Some s -> s
   | None ->
-    let s = { attempts = 0; proved = 0; refuted = 0 } in
+    let s = { attempts = 0; proved = 0; refuted = 0; raised = 0; skipped = 0 } in
     Hashtbl.add d.stats name s;
     s
 
@@ -170,6 +198,147 @@ let syntactic (s : Sequent.t) : Sequent.verdict option =
   then Some Sequent.Valid
   else None
 
+(* ------------------------------------------------------------------ *)
+(* The cascade engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* a prover crash is a portfolio event, not a verdict: count it, leave an
+   instant in the trace, and move on as if the prover said Unknown *)
+let note_raised (d : t) (name : string) (e : exn) : Sequent.verdict =
+  Trace.incr "prover.raised";
+  Trace.instant ~cat:"dispatch"
+    ~args:(fun () ->
+      [ ("prover", Trace.S name); ("exn", Trace.S (Printexc.to_string e)) ])
+    "prover.raised";
+  bump_stats d name (fun st -> st.raised <- st.raised + 1);
+  Sequent.Unknown ("prover raised " ^ Printexc.to_string e)
+
+let settled = function
+  | Sequent.Valid | Sequent.Invalid _ -> true
+  | Sequent.Unknown _ -> false
+
+(* one timed prover attempt: stats, crash accounting, EMA feedback *)
+let attempt (d : t) ~(signature : string) (s : Sequent.t)
+    (p : Sequent.prover) : Sequent.verdict =
+  let name = p.Sequent.prover_name in
+  bump_stats d name (fun st -> st.attempts <- st.attempts + 1);
+  let t0 = Unix.gettimeofday () in
+  let v =
+    match p.Sequent.prove s with
+    | v -> v
+    | exception Deadline.Expired ->
+      (* a racing sibling settled first; not a crash *)
+      Trace.incr "sched.race_cancelled";
+      Sequent.Unknown "attempt cancelled"
+    | exception e -> note_raised d name e
+  in
+  (match d.sched.Sched.policy with
+  | Sched.Fixed -> ()
+  | Sched.Adaptive ->
+    Sched.record d.sched ~signature ~prover:name
+      ~latency_s:(Unix.gettimeofday () -. t0) ~settled:(settled v));
+  (match v with
+  | Sequent.Valid -> bump_stats d name (fun st -> st.proved <- st.proved + 1)
+  | Sequent.Invalid _ ->
+    bump_stats d name (fun st -> st.refuted <- st.refuted + 1)
+  | Sequent.Unknown _ -> ());
+  v
+
+let report_of (s : Sequent.t) (p : Sequent.prover) (v : Sequent.verdict) :
+    report =
+  { sequent = s; verdict = v; prover = Some p.Sequent.prover_name;
+    cached = false }
+
+(* race [ps] on the pool: every racer runs under its own cancel token,
+   the first settled verdict wins and cancels the others, which unwind at
+   their next Deadline checkpoint.  Pool.map is nest-safe (the calling
+   worker helps run its own race), so with a busy pool this degrades to
+   the sequential cascade: later racers find the winner already posted
+   and return without running, or get cancelled at their first poll. *)
+let race_attempts (d : t) ~(signature : string) (pool : Pool.t)
+    (s : Sequent.t) (ps : Sequent.prover list) : report option =
+  Trace.incr "sched.race";
+  let winner = Atomic.make None in
+  let entries =
+    List.map (fun p -> (p, Deadline.make ?parent:(Deadline.current ()) ())) ps
+  in
+  let run (p, token) =
+    if Atomic.get winner <> None then ()
+    else
+      let v =
+        match Deadline.with_token token (fun () -> attempt d ~signature s p)
+        with
+        | v -> v
+        | exception Deadline.Expired ->
+          Trace.incr "sched.race_cancelled";
+          Sequent.Unknown "attempt cancelled"
+      in
+      if settled v then
+        if Atomic.compare_and_set winner None (Some (v, p)) then
+          List.iter
+            (fun (q, t) -> if not (q == p) then Deadline.cancel t)
+            entries
+  in
+  let (_ : unit list) = Pool.map pool run entries in
+  Option.map (fun (v, p) -> report_of s p v) (Atomic.get winner)
+
+(* the scheduler-driven cascade: order the portfolio (learned EMAs under
+   Adaptive, as declared under Fixed), skip provers whose admission
+   predicate rejects the sequent, and either try the survivors in order
+   or race them [race] at a time *)
+let run_cascade (d : t) (s : Sequent.t) : report =
+  let signature = Sched.signature s in
+  let give_up () =
+    { sequent = s;
+      verdict = Sequent.Unknown "no prover settled the goal";
+      prover = None;
+      cached = false }
+  in
+  (* admission is evaluated lazily, in attempt order: once a prover
+     settles the goal, the predicates of everyone behind it never run *)
+  let admit (p : Sequent.prover) : bool =
+    let name = p.Sequent.prover_name in
+    if Sched.admitted d.sched s name then true
+    else begin
+      Trace.incr "sched.skipped";
+      Trace.incr ("sched.skipped." ^ name);
+      bump_stats d name (fun st -> st.skipped <- st.skipped + 1);
+      false
+    end
+  in
+  let race_width =
+    match d.pool with None -> 1 | Some _ -> Sched.race d.sched
+  in
+  let rec go = function
+    | [] -> give_up ()
+    | p :: rest when not (admit p) -> go rest
+    | p :: rest when race_width > 1 -> (
+      (* collect up to race_width admitted provers, racing them as a
+         group; admission of provers beyond the group stays lazy *)
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | q :: rest when not (admit q) -> take k acc rest
+        | q :: rest -> take (k - 1) (q :: acc) rest
+      in
+      let group, rest = take (race_width - 1) [ p ] rest in
+      match group with
+      | [ lone ] -> (
+        match attempt d ~signature s lone with
+        | v when settled v -> report_of s lone v
+        | _ -> go rest)
+      | group -> (
+        let pool = Option.get d.pool in
+        match race_attempts d ~signature pool s group with
+        | Some r -> r
+        | None -> go rest))
+    | p :: rest -> (
+      match attempt d ~signature s p with
+      | v when settled v -> report_of s p v
+      | _ -> go rest)
+  in
+  go (Sched.order d.sched ~signature d.provers)
+
 (* the portfolio run proper, after the cache has been consulted *)
 let prove_uncached (d : t) (s : Sequent.t) : report =
   let s =
@@ -207,34 +376,7 @@ let prove_uncached (d : t) (s : Sequent.t) : report =
             with _ -> s)
       else s
     in
-    let rec try_provers = function
-      | [] ->
-        { sequent = s;
-          verdict = Sequent.Unknown "no prover settled the goal";
-          prover = None;
-          cached = false }
-      | (p : Sequent.prover) :: rest -> (
-        bump_stats d p.Sequent.prover_name (fun st ->
-            st.attempts <- st.attempts + 1);
-        match p.Sequent.prove s with
-        | Sequent.Valid ->
-          bump_stats d p.Sequent.prover_name (fun st ->
-              st.proved <- st.proved + 1);
-          { sequent = s;
-            verdict = Sequent.Valid;
-            prover = Some p.Sequent.prover_name;
-            cached = false }
-        | Sequent.Invalid m ->
-          bump_stats d p.Sequent.prover_name (fun st ->
-              st.refuted <- st.refuted + 1);
-          { sequent = s;
-            verdict = Sequent.Invalid m;
-            prover = Some p.Sequent.prover_name;
-            cached = false }
-        | Sequent.Unknown _ -> try_provers rest
-        | exception _ -> try_provers rest)
-    in
-    try_provers d.provers
+    run_cascade d s
 
 (* the cache-consulting path, without the obligation span *)
 let prove_sequent_inner (d : t) (s : Sequent.t) : report =
@@ -318,15 +460,20 @@ let summarize (reports : report list) : summary =
   let total = List.length reports in
   { total; valid; invalid; unknown = total - valid - invalid; reports }
 
-(** Per-prover counters accumulated by this dispatcher.  The returned
-    records are snapshots: safe to read while other domains keep
-    proving. *)
-let stats (d : t) : (string * prover_stats) list =
+(** Per-prover counters accumulated by this dispatcher, copied field by
+    field under [stats_mutex] while pool domains may still be flushing
+    updates.  The returned records are detached snapshots: safe to read,
+    print or serialize while other domains keep proving.  Every consumer
+    that formats stats (including [jahob verify --stats]) must go through
+    here rather than touching the live table. *)
+let stats_snapshot (d : t) : (string * prover_stats) list =
   Mutex.lock d.stats_mutex;
   let r =
     Hashtbl.fold
       (fun name s acc ->
-        (name, { attempts = s.attempts; proved = s.proved; refuted = s.refuted })
+        ( name,
+          { attempts = s.attempts; proved = s.proved; refuted = s.refuted;
+            raised = s.raised; skipped = s.skipped } )
         :: acc)
       d.stats []
     |> List.sort compare
@@ -334,15 +481,18 @@ let stats (d : t) : (string * prover_stats) list =
   Mutex.unlock d.stats_mutex;
   r
 
+let stats = stats_snapshot
+
 (** The dispatcher's verdict cache, if caching is enabled. *)
 let cache (d : t) : Cache.t option = d.cache
 
 let pp_stats ppf (d : t) =
   List.iter
     (fun (name, (s : prover_stats)) ->
-      Format.fprintf ppf "@,  %-12s attempts %4d   proved %4d   refuted %4d"
-        name s.attempts s.proved s.refuted)
-    (stats d);
+      Format.fprintf ppf
+        "@,  %-12s attempts %4d   proved %4d   refuted %4d   raised %3d   skipped %4d"
+        name s.attempts s.proved s.refuted s.raised s.skipped)
+    (stats_snapshot d);
   match d.cache with
   | None -> ()
   | Some c ->

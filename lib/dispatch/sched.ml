@@ -1,0 +1,236 @@
+(** Adaptive portfolio scheduling: which provers to ask, in what order.
+
+    The fixed cascade offers every obligation to every prover in portfolio
+    order, so a MONA-shaped sequent pays for failed SMT and BAPA attempts
+    first and an arithmetic one pays for a saturation run of the
+    first-order prover.  This module makes the cascade instance-aware,
+    SATzilla-style, in two layers:
+
+    {ul
+    {- {b Fragment pre-routing.}  Each prover may register an admission
+       predicate (its [in_fragment] check).  A prover whose predicate
+       rejects the sequent is skipped outright — sound only for provers
+       whose [in_fragment = false] provably implies their [prove] answers
+       [Unknown] (cooper, fol, mona, bapa: all fail in their translation
+       front end, which is exactly what the predicate runs).  The SMT
+       prover deliberately registers {e no} predicate: it abstracts
+       out-of-fragment atoms propositionally and can still settle a goal
+       whose atoms it cannot interpret, so skipping it would change
+       verdicts.}
+    {- {b Learned ordering.}  Per (prover × fragment-signature) EMAs of
+       attempt latency and settle rate, mutex-striped like the dispatcher's
+       stats table.  Admitted provers are sorted by expected
+       cost-to-solve (latency / settle-rate — the classic index rule for
+       minimizing expected total time of a try-until-success cascade).
+       Unobserved pairs score a neutral constant, and ties break on
+       portfolio position, so a cold scheduler reproduces the fixed order
+       exactly and ordering is deterministic given the same observations.}}
+
+    Reordering and skipping never change the portfolio's {e verdict}:
+    skips are Unknown-preserving by the admission soundness argument, and
+    any two provers that both settle a goal agree (a property the
+    differential fuzzer enforces), so order only decides who answers
+    first.  The [Fixed] policy short-circuits both layers — the escape
+    hatch behind [--sched fixed]. *)
+
+open Logic
+
+type policy =
+  | Fixed (** legacy cascade: portfolio order, no skipping, no learning *)
+  | Adaptive (** fragment pre-routing + learned ordering *)
+
+let policy_of_string = function
+  | "fixed" -> Some Fixed
+  | "adaptive" -> Some Adaptive
+  | _ -> None
+
+let policy_to_string = function Fixed -> "fixed" | Adaptive -> "adaptive"
+
+(* ------------------------------------------------------------------ *)
+(* Fragment signatures                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** A cheap syntactic abstract of the sequent: one flag per feature that
+    decides fragment membership (quantifiers, arithmetic, sets,
+    cardinalities, reachability, heap access).  Obligations with the same
+    signature tend to be settled by the same prover at a similar cost,
+    which is what makes the per-signature EMAs predictive. *)
+let signature (s : Sequent.t) : string =
+  let quant = ref false and arith = ref false and sets = ref false
+  and card = ref false and reach = ref false and heap = ref false in
+  let const (k : Form.const) =
+    match k with
+    | Form.IntLit _ | Lt | Le | Gt | Ge | Plus | Minus | Uminus | Mult
+    | Div | Mod ->
+      arith := true
+    | EmptySet | UnivSet | FiniteSet | Union | Inter | Diff | Elem
+    | Subseteq | Subset ->
+      sets := true
+    | Card ->
+      card := true;
+      sets := true
+    | FieldRead | FieldWrite | ArrayRead | ArrayWrite -> heap := true
+    | Rtrancl | Tree -> reach := true
+    | BoolLit _ | Null | Not | And | Or | Impl | Iff | Ite | Eq | Old -> ()
+  in
+  let rec scan (f : Form.t) =
+    match f with
+    | Form.Var _ -> ()
+    | Form.Const k -> const k
+    | Form.App (g, args) ->
+      scan g;
+      List.iter scan args
+    | Form.Binder (b, _, body) ->
+      (match b with
+      | Form.Forall | Form.Exists -> quant := true
+      | Form.Comprehension -> sets := true
+      | Form.Lambda -> ());
+      scan body
+    | Form.TypedForm (g, _) -> scan g
+  in
+  List.iter scan s.Sequent.hyps;
+  scan s.Sequent.goal;
+  let buf = Buffer.create 8 in
+  let flag b c = if b then Buffer.add_char buf c in
+  flag !quant 'q';
+  flag !arith 'a';
+  flag !sets 's';
+  flag !card 'c';
+  flag !reach 'r';
+  flag !heap 'h';
+  if Buffer.length buf = 0 then "prop" else Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Learned per-(prover × signature) statistics                         *)
+(* ------------------------------------------------------------------ *)
+
+type stat = {
+  mutable ema_latency : float; (* seconds per attempt *)
+  mutable ema_settle : float; (* fraction of attempts answering Valid/Invalid *)
+  mutable samples : int;
+}
+
+type stripe = {
+  lock : Mutex.t;
+  table : (string * string, stat) Hashtbl.t; (* (prover, signature) *)
+}
+
+type t = {
+  policy : policy;
+  race : int; (* how many admitted provers to race; 1 = cascade *)
+  admits : (string, Sequent.t -> bool) Hashtbl.t;
+  stripes : stripe array;
+}
+
+let n_stripes = 8
+
+let create ?(policy = Fixed) ?(race = 1) ?(admits = []) () : t =
+  let table = Hashtbl.create (List.length admits) in
+  List.iter (fun (name, pred) -> Hashtbl.replace table name pred) admits;
+  { policy;
+    race = max 1 race;
+    admits = table;
+    stripes =
+      Array.init n_stripes (fun _ ->
+          { lock = Mutex.create (); table = Hashtbl.create 32 }) }
+
+let policy (t : t) = t.policy
+let race (t : t) = t.race
+
+let stripe_of (t : t) (key : string * string) : stripe =
+  t.stripes.(Hashtbl.hash key land (n_stripes - 1))
+
+(* neutral priors: every unobserved (prover, signature) pair scores the
+   same constant, so cold ordering degenerates to the fixed portfolio
+   order via the positional tie-break *)
+let cold_latency = 0.01
+let cold_settle = 0.5
+let min_samples = 3
+let ema_alpha = 0.25
+
+(** Fold one attempt into the EMAs.  [settled] means the prover answered
+    [Valid] or [Invalid]; a cancelled racer counts as an unsettled attempt
+    at the time it was allowed to run, which mildly reinforces whoever
+    keeps winning — exactly the bias a portfolio wants. *)
+let record (t : t) ~(signature : string) ~(prover : string)
+    ~(latency_s : float) ~(settled : bool) : unit =
+  let key = (prover, signature) in
+  let stripe = stripe_of t key in
+  Mutex.lock stripe.lock;
+  let st =
+    match Hashtbl.find_opt stripe.table key with
+    | Some st -> st
+    | None ->
+      let st =
+        { ema_latency = cold_latency; ema_settle = cold_settle; samples = 0 }
+      in
+      Hashtbl.add stripe.table key st;
+      st
+  in
+  st.samples <- st.samples + 1;
+  st.ema_latency <- st.ema_latency +. (ema_alpha *. (latency_s -. st.ema_latency));
+  st.ema_settle <-
+    st.ema_settle +. (ema_alpha *. ((if settled then 1. else 0.) -. st.ema_settle));
+  Mutex.unlock stripe.lock
+
+(* expected cost-to-solve: mean attempt latency scaled by the odds the
+   attempt actually settles the goal.  [1 / settle-rate] attempts are
+   expected before a success, so latency / rate is the expected spend on
+   this prover per solved goal; ordering ascending minimizes the expected
+   total time of the cascade. *)
+let score (t : t) ~(signature : string) (prover : string) : float =
+  let key = (prover, signature) in
+  let stripe = stripe_of t key in
+  Mutex.lock stripe.lock;
+  let r =
+    match Hashtbl.find_opt stripe.table key with
+    | Some st when st.samples >= min_samples ->
+      st.ema_latency /. Float.max st.ema_settle 0.02
+    | _ -> cold_latency /. cold_settle
+  in
+  Mutex.unlock stripe.lock;
+  r
+
+(** Admitted provers in attempt order.  [Fixed]: the portfolio order,
+    untouched.  [Adaptive]: sorted by {!score}, ties broken by portfolio
+    position (deterministic; reproduces the fixed order until enough
+    samples accumulate). *)
+let order (t : t) ~(signature : string) (provers : Sequent.prover list) :
+    Sequent.prover list =
+  match t.policy with
+  | Fixed -> provers
+  | Adaptive ->
+    provers
+    |> List.mapi (fun i p ->
+           (score t ~signature p.Sequent.prover_name, i, p))
+    |> List.sort (fun (s1, i1, _) (s2, i2, _) ->
+           match Float.compare s1 s2 with 0 -> Int.compare i1 i2 | c -> c)
+    |> List.map (fun (_, _, p) -> p)
+
+(** Does the scheduler offer this sequent to this prover at all?  Always
+    true under [Fixed], and for provers without an admission predicate.
+    A predicate that raises admits (the prover's own front end then
+    decides — never skip on a crash). *)
+let admitted (t : t) (s : Sequent.t) (prover : string) : bool =
+  match t.policy with
+  | Fixed -> true
+  | Adaptive -> (
+    match Hashtbl.find_opt t.admits prover with
+    | None -> true
+    | Some pred -> ( try pred s with _ -> true))
+
+(** Snapshot of the learned table, for debugging and the bench report:
+    [(prover, signature, ema_latency, ema_settle, samples)] sorted by
+    key. *)
+let snapshot (t : t) : (string * string * float * float * int) list =
+  let acc = ref [] in
+  Array.iter
+    (fun stripe ->
+      Mutex.lock stripe.lock;
+      Hashtbl.iter
+        (fun (p, sg) st ->
+          acc := (p, sg, st.ema_latency, st.ema_settle, st.samples) :: !acc)
+        stripe.table;
+      Mutex.unlock stripe.lock)
+    t.stripes;
+  List.sort compare !acc

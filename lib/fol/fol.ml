@@ -578,6 +578,7 @@ let refute ?(max_clauses = 4000) ?(max_weight = 60) ?(max_lits = 6)
       List.exists (fun u -> subsumes u c) units
     in
     while !result = None do
+      Deadline.check ();
       if Pq.is_empty !passive then result := Some Saturated
       else if !total > max_clauses || Sys.time () > deadline then
         result := Some GaveUp

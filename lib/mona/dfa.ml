@@ -68,6 +68,8 @@ let product (op : bool -> bool -> bool) (a : t) (b : t) : t =
     match Hashtbl.find_opt index (sa, sb) with
     | Some i -> i
     | None ->
+      (* one poll per fresh product state: blowup happens here *)
+      Deadline.check ();
       let i = !next_id in
       incr next_id;
       Hashtbl.add index (sa, sb) i;

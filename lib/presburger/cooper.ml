@@ -190,6 +190,9 @@ let eliminate ?(cap = max_int) x f =
     intermediate result larger than it, raises {!Fuel_exhausted}.  The
     default ([max_int]) never gives up. *)
 let rec qelim ?(cap = max_int) f =
+  (* polled beside the Fuel_exhausted size cap: the cap bounds the output
+     of one elimination, the deadline bounds the whole traversal *)
+  Deadline.check ();
   let guard g =
     if cap <> max_int && size g > cap then raise Fuel_exhausted;
     g

@@ -343,6 +343,9 @@ let solve ?(assumptions = []) (s : t) : result =
     let restart_limit = ref 100 in
     let result = ref None in
     while !result = None do
+      (* cooperative cancellation: lets a dispatcher budget or race this
+         solver without abandoning the thread *)
+      Deadline.check ();
       match propagate s with
       | Some confl ->
         if decision_level s = 0 then result := Some Unsat

@@ -656,6 +656,7 @@ let check_sat (f : Form.t) : [ `Sat of bool | `Unsat ] =
   if not ok then `Unsat
   else begin
     let rec loop rounds precise_so_far =
+      Deadline.check ();
       (if Sys.getenv_opt "SMT_DEBUG" <> None && rounds mod 100 = 0 then
          Printf.eprintf "smt round %d, atoms %d\n%!" rounds
            (List.length ctx.atoms));

@@ -272,6 +272,216 @@ let test_budget_in_dispatcher () =
     (Sequent.verdict_to_string r.Dispatch.verdict)
 
 (* ------------------------------------------------------------------ *)
+(* Cooperative deadlines                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* a prover that spins on Deadline checkpoints forever: the only way it
+   stops is a cooperative cancellation.  [polls] counts its checkpoints
+   so a test can observe whether it is still running. *)
+let checkpointing_prover ?(name = "spinner") (polls : int Atomic.t) :
+    Sequent.prover =
+  { Sequent.prover_name = name;
+    prove =
+      (fun _ ->
+        try
+          while true do
+            Deadline.check ();
+            Atomic.incr polls;
+            Thread.delay 0.0002
+          done;
+          assert false
+        with Deadline.Expired -> Sequent.Unknown "cancelled") }
+
+let test_deadline_nesting () =
+  let parent = Deadline.make () in
+  let child = Deadline.make ~parent () in
+  Alcotest.(check bool) "child alive before cancel" false
+    (Deadline.expired child);
+  Deadline.cancel parent;
+  Alcotest.(check bool) "parent cancel reaches child" true
+    (Deadline.expired child);
+  (match Deadline.with_token child (fun () -> Deadline.check ()) with
+  | () -> Alcotest.fail "checkpoint under a cancelled token must raise"
+  | exception Deadline.Expired -> ());
+  (* bindings nest and restore *)
+  let outer = Deadline.make () in
+  Deadline.with_token outer (fun () ->
+      let inner = Deadline.make () in
+      Deadline.with_token inner (fun () ->
+          Alcotest.(check bool) "inner bound" true
+            (Deadline.current () == Some inner || Deadline.current () = Some inner));
+      Alcotest.(check bool) "outer restored" true
+        (match Deadline.current () with Some t -> t == outer | None -> false))
+
+let test_budget_cancels_cooperatively () =
+  (* the satellite guarantee: after a budget expiry the helper thread
+     stops at its next checkpoint instead of burning a core *)
+  let polls = Atomic.make 0 in
+  let p =
+    Dispatch.with_budget ~budget_s:0.05 (checkpointing_prover polls)
+  in
+  (match p.Sequent.prove (seq [ "x < y" ] "p..g = q") with
+  | Sequent.Unknown m ->
+    Alcotest.(check bool) "reason mentions the budget" true
+      (String.length m >= 6 && String.sub m 0 6 = "budget")
+  | v ->
+    Alcotest.failf "expected unknown, got %s" (Sequent.verdict_to_string v));
+  (* grace period for the helper to observe the cancellation, then the
+     poll counter must be frozen *)
+  Thread.delay 0.05;
+  let frozen = Atomic.get polls in
+  Alcotest.(check bool) "prover did checkpoint while running" true (frozen > 0);
+  Thread.delay 0.15;
+  Alcotest.(check int) "no checkpoints after cancellation" frozen
+    (Atomic.get polls)
+
+(* ------------------------------------------------------------------ *)
+(* Racing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_race_settles_and_cancels_loser () =
+  let polls = Atomic.make 0 in
+  let fast =
+    { Sequent.prover_name = "fastvalid";
+      prove = (fun _ -> Thread.delay 0.03; Sequent.Valid) }
+  in
+  let pool = Dispatch.Pool.create ~jobs:2 in
+  let d =
+    Dispatch.create ~pool
+      ~sched:(Dispatch.Sched.create ~race:2 ())
+      [ checkpointing_prover polls; fast ]
+  in
+  let r = Dispatch.prove_sequent d (seq [ "x < y" ] "p..g = q") in
+  Alcotest.(check string) "first settled verdict wins" "valid"
+    (Sequent.verdict_kind r.Dispatch.verdict);
+  Alcotest.(check (option string)) "settled by the fast racer"
+    (Some "fastvalid") r.Dispatch.prover;
+  (* the spinning loser was cancelled at a checkpoint, not abandoned *)
+  Thread.delay 0.05;
+  let frozen = Atomic.get polls in
+  Alcotest.(check bool) "loser ran concurrently" true (frozen > 0);
+  Thread.delay 0.15;
+  Alcotest.(check int) "loser stopped after losing" frozen (Atomic.get polls);
+  Dispatch.Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: admission, ordering, verdict parity                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_sched_skips_inadmissible () =
+  let count = ref 0 in
+  let never =
+    { (counting_prover count) with Sequent.prover_name = "never" }
+  in
+  let d =
+    Dispatch.create
+      ~sched:
+        (Dispatch.Sched.create ~policy:Dispatch.Sched.Adaptive
+           ~admits:[ ("never", fun _ -> false) ]
+           ())
+      [ never; Smt.prover ]
+  in
+  let r = Dispatch.prove_sequent d (seq [ "x > 0"; "x < 2" ] "x = 1") in
+  Alcotest.(check (option string)) "smt settles" (Some "smt")
+    r.Dispatch.prover;
+  Alcotest.(check int) "skipped prover never ran" 0 !count;
+  let st = List.assoc "never" (Dispatch.stats_snapshot d) in
+  Alcotest.(check int) "skip recorded in stats" 1 st.Dispatch.skipped;
+  Alcotest.(check int) "no attempt recorded" 0 st.Dispatch.attempts
+
+let test_sched_raised_surfaced () =
+  (* a crashing prover is counted, not silently swallowed *)
+  let crasher =
+    { Sequent.prover_name = "crasher";
+      prove = (fun _ -> failwith "boom") }
+  in
+  let d = Dispatch.create [ crasher; Smt.prover ] in
+  let r = Dispatch.prove_sequent d (seq [ "x > 0"; "x < 2" ] "x = 1") in
+  Alcotest.(check string) "portfolio still settles" "valid"
+    (Sequent.verdict_kind r.Dispatch.verdict);
+  let st = List.assoc "crasher" (Dispatch.stats_snapshot d) in
+  Alcotest.(check int) "crash counted" 1 st.Dispatch.raised;
+  Alcotest.(check int) "attempt counted" 1 st.Dispatch.attempts
+
+let test_sched_cold_order_is_fixed_order () =
+  let sched = Dispatch.Sched.create ~policy:Dispatch.Sched.Adaptive () in
+  let mk n = { Sequent.prover_name = n; prove = (fun _ -> Sequent.Valid) } in
+  let ps = [ mk "a"; mk "b"; mk "c" ] in
+  let names l = List.map (fun p -> p.Sequent.prover_name) l in
+  Alcotest.(check (list string)) "cold ordering = declared ordering"
+    [ "a"; "b"; "c" ]
+    (names (Dispatch.Sched.order sched ~signature:"prop" ps));
+  (* teach it that c is fast and reliable while a fails slowly *)
+  for _ = 1 to 10 do
+    Dispatch.Sched.record sched ~signature:"prop" ~prover:"c"
+      ~latency_s:0.001 ~settled:true;
+    Dispatch.Sched.record sched ~signature:"prop" ~prover:"a"
+      ~latency_s:0.2 ~settled:false
+  done;
+  let o1 = names (Dispatch.Sched.order sched ~signature:"prop" ps) in
+  let o2 = names (Dispatch.Sched.order sched ~signature:"prop" ps) in
+  Alcotest.(check (list string)) "ordering deterministic" o1 o2;
+  Alcotest.(check (list string)) "learned ordering promotes the winner"
+    [ "c"; "b"; "a" ] o1;
+  (* signatures are independent: another signature is still cold *)
+  Alcotest.(check (list string)) "other signature unaffected"
+    [ "a"; "b"; "c" ]
+    (names (Dispatch.Sched.order sched ~signature:"qa" ps))
+
+let test_sched_adaptive_verdict_parity () =
+  (* reordering and skipping must never change what the portfolio
+     concludes: run the same suite through the fixed cascade and through
+     a learning adaptive dispatcher, several rounds so reordering
+     actually kicks in, and compare verdicts obligation by obligation *)
+  let reach = "rtrancl_pt (% u v. u..next = v)" in
+  let sequents =
+    mixed_sequents ()
+    (* shape goals: smt answers unknown (opaque reachability atom) and
+       the out-of-fragment provers behind it must be *skipped*, not
+       attempted *)
+    @ [ seq [ "x..next = y" ] (reach ^ " x y");
+        seq [] (reach ^ " x x") ]
+  in
+  let admits = Jahob_core.Jahob.default_admissions () in
+  let provers () = Jahob_core.Jahob.default_provers () in
+  let d_fixed =
+    Dispatch.create
+      ~sched:(Dispatch.Sched.create ~policy:Dispatch.Sched.Fixed ~admits ())
+      (provers ())
+  in
+  let fixed_kinds =
+    List.map
+      (fun (r : Dispatch.report) -> Sequent.verdict_kind r.Dispatch.verdict)
+      (Dispatch.prove_all d_fixed sequents)
+  in
+  let d_adaptive =
+    Dispatch.create
+      ~sched:
+        (Dispatch.Sched.create ~policy:Dispatch.Sched.Adaptive ~admits ())
+      (provers ())
+  in
+  for round = 1 to 3 do
+    let kinds =
+      List.map
+        (fun (r : Dispatch.report) -> Sequent.verdict_kind r.Dispatch.verdict)
+        (Dispatch.prove_all d_adaptive sequents)
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "round %d verdicts match the fixed cascade" round)
+      fixed_kinds kinds
+  done;
+  (* pre-routing did skip something, i.e. the adaptive path was actually
+     exercised *)
+  let skipped =
+    List.fold_left
+      (fun acc (_, (s : Dispatch.prover_stats)) -> acc + s.Dispatch.skipped)
+      0
+      (Dispatch.stats_snapshot d_adaptive)
+  in
+  Alcotest.(check bool) "fragment pre-routing skipped some attempts" true
+    (skipped > 0)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: parallel program verification                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -335,6 +545,19 @@ let suite =
         Alcotest.test_case "budget sufficient" `Quick test_budget_sufficient;
         Alcotest.test_case "budget inside portfolio" `Quick
           test_budget_in_dispatcher;
+        Alcotest.test_case "deadline tokens nest" `Quick test_deadline_nesting;
+        Alcotest.test_case "budget cancels cooperatively" `Quick
+          test_budget_cancels_cooperatively;
+        Alcotest.test_case "race settles and cancels loser" `Quick
+          test_race_settles_and_cancels_loser;
+        Alcotest.test_case "sched skips inadmissible provers" `Quick
+          test_sched_skips_inadmissible;
+        Alcotest.test_case "sched surfaces prover crashes" `Quick
+          test_sched_raised_surfaced;
+        Alcotest.test_case "sched ordering: cold, learned, deterministic"
+          `Quick test_sched_cold_order_is_fixed_order;
+        Alcotest.test_case "sched adaptive verdict parity" `Quick
+          test_sched_adaptive_verdict_parity;
         Alcotest.test_case "verify_program parallel" `Quick
           test_verify_program_parallel;
       ] );
