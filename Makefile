@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI should run.
 
-.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench bench-json clean
+.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench-scaling bench bench-json clean
 
 all: build
 
@@ -26,6 +26,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) perf-smoke
 	$(MAKE) bench-sched
+	$(MAKE) bench-scaling
 
 # a short fixed-seed differential fuzz of every fragment: any prover
 # disagreement (or prover-vs-oracle contradiction) exits non-zero
@@ -47,6 +48,15 @@ perf-smoke:
 # refreshes BENCH_sched.json
 bench-sched:
 	dune exec bench/main.exe -- sched
+
+# scaling guard for the work-stealing pool: verdict counts and cache
+# hit/lookup counters must be identical at every -j (the claim table
+# makes cache behavior schedule-independent), and on hosts with >=4
+# cores -j4 must clear a 1.5x speedup floor over -j1.  On smaller hosts
+# the floor is reported as SKIPPED, never as a pass.  Refreshes the
+# scaling rows in BENCH_results.json via bench-json in CI
+bench-scaling:
+	dune exec bench/main.exe -- scaling
 
 bench:
 	dune exec bench/main.exe

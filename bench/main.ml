@@ -434,15 +434,38 @@ let scaling_suite =
     [ "stack/Stack.java" ];
   ]
 
+(* the make-check guard: on a host with >= 4 cores, -j 4 must beat -j 1
+   by at least this factor on the scaling suite *)
+let speedup_floor = 1.5
+let scaling_jobs = [ 1; 2; 4; 8 ]
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+type scaling_row = {
+  sc_jobs : int;
+  sc_dt : float;
+  sc_counts : int * int * int * int; (* total, valid, invalid, unknown *)
+  sc_hits : int;
+  sc_lookups : int;
+  sc_waits : int; (* lookups that blocked on an in-flight claim *)
+  sc_cache_contended : int;
+  sc_hashcons_contended : int;
+}
+
 let scaling () =
   header "SCALING: parallel dispatch sweep over worker domains (-j)";
+  let recommended = Domain.recommended_domain_count () in
   Printf.printf
-    "Obligations are independent, so dispatch fans them out across a\n\
-    \  domain pool; repeated obligations (invariant re-checks, the\n\
-    \  speculative-invariant weakening loop) are settled once by the\n\
-    \  verdict cache.  Verdict counts must not depend on -j.\n\
-    \  (host has %d core(s) available)\n"
-    (Domain.recommended_domain_count ());
+    "Obligations are independent, so dispatch fans them out across\n\
+    \  per-domain work-stealing deques; identical in-flight obligations\n\
+    \  are deduplicated by the verdict cache's claim table, so verdict\n\
+    \  counts AND cache hit/lookup counts must not depend on -j.\n\
+    \  (host has %d core(s) available; timestamp %s)\n"
+    recommended (iso8601_now ());
   let progs =
     List.map
       (fun files ->
@@ -452,11 +475,13 @@ let scaling () =
       scaling_suite
   in
   let run jobs =
+    Dispatch.Cache.reset_lock_stats ();
+    Hashcons.reset_lock_stats ();
     let opts = { (Jahob_core.Jahob.default_options ()) with jobs } in
-    let (counts, hits, lookups), dt =
+    let (counts, hits, lookups, waits), dt =
       time_it (fun () ->
           List.fold_left
-            (fun (counts, hits, lookups) prog ->
+            (fun (counts, hits, lookups, waits) prog ->
               let report = Jahob_core.Jahob.verify_program ~opts prog in
               let t, v, i, u = counts in
               let t, v, i, u =
@@ -467,54 +492,116 @@ let scaling () =
                       i + s.Dispatch.invalid, u + s.Dispatch.unknown ))
                   (t, v, i, u) report.Jahob_core.Jahob.methods
               in
-              let hits, lookups =
+              let hits, lookups, waits =
                 match Dispatch.cache report.Jahob_core.Jahob.dispatcher with
-                | None -> (hits, lookups)
+                | None -> (hits, lookups, waits)
                 | Some c ->
                   let k = Dispatch.Cache.counters c in
                   ( hits + k.Dispatch.Cache.hit_count,
                     lookups + k.Dispatch.Cache.hit_count
-                    + k.Dispatch.Cache.miss_count )
+                    + k.Dispatch.Cache.miss_count,
+                    waits + k.Dispatch.Cache.wait_count )
               in
-              ((t, v, i, u), hits, lookups))
-            ((0, 0, 0, 0), 0, 0) progs)
+              ((t, v, i, u), hits, lookups, waits))
+            ((0, 0, 0, 0), 0, 0, 0) progs)
     in
-    (jobs, dt, counts, hits, lookups)
+    { sc_jobs = jobs;
+      sc_dt = dt;
+      sc_counts = counts;
+      sc_hits = hits;
+      sc_lookups = lookups;
+      sc_waits = waits;
+      sc_cache_contended =
+        (Dispatch.Cache.lock_stats ()).Dispatch.Cache.contended_acquisitions;
+      sc_hashcons_contended =
+        (Hashcons.lock_stats ()).Hashcons.contended_acquisitions }
   in
-  let rows = List.map run [ 1; 2; 4; 8 ] in
-  let base =
-    match rows with (_, dt, _, _, _) :: _ -> dt | [] -> 1.
-  in
+  let rows = List.map run scaling_jobs in
+  let base = match rows with r :: _ -> r.sc_dt | [] -> 1. in
+  let speedup r = base /. r.sc_dt in
   List.iter
-    (fun (jobs, dt, (t, v, i, u), hits, lookups) ->
+    (fun r ->
+      let t, v, i, u = r.sc_counts in
       Printf.printf
         "  -j %d  %6.2fs  speedup %4.2fx   %3d obligations: %3d valid %3d \
-         invalid %3d unknown   cache hits %d/%d (%.1f%%)\n%!"
-        jobs dt (base /. dt) t v i u hits lookups
-        (if lookups = 0 then 0. else 100. *. float_of_int hits /. float_of_int lookups))
+         invalid %3d unknown   cache hits %d/%d (%.1f%%, %d waited)   \
+         contended locks: cache %d hashcons %d\n%!"
+        r.sc_jobs r.sc_dt (speedup r) t v i u r.sc_hits r.sc_lookups
+        (if r.sc_lookups = 0 then 0.
+         else 100. *. float_of_int r.sc_hits /. float_of_int r.sc_lookups)
+        r.sc_waits r.sc_cache_contended r.sc_hashcons_contended)
     rows;
   (match rows with
-  | (_, _, counts0, _, _) :: rest
-    when List.for_all (fun (_, _, c, _, _) -> c = counts0) rest ->
-    Printf.printf "  verdict counts identical across all -j values: OK\n%!"
-  | _ ->
-    Printf.printf "  WARNING: verdict counts differ across -j values!\n%!");
-  (match rows with
-  | (_, _, (t, v, i, u), _, _) :: _ ->
+  | r0 :: _ ->
+    let t, v, i, u = r0.sc_counts in
     acc_total := t; acc_valid := v; acc_invalid := i; acc_unknown := u
   | [] -> ());
+  (* guard verdict: decided before the JSON note so a failed floor still
+     leaves the full record in BENCH_results.json *)
+  let guard, guard_detail =
+    if recommended < 4 then
+      ( "skipped",
+        Printf.sprintf
+          "host has %d core(s); a parallel speedup cannot exist here, so \
+           the floor is not checked (never reported as a pass)"
+          recommended )
+    else
+      match List.find_opt (fun r -> r.sc_jobs = 4) rows with
+      | None -> ("skipped", "no -j 4 row in the sweep")
+      | Some r4 ->
+        if speedup r4 >= speedup_floor then
+          ( "pass",
+            Printf.sprintf "%.2fx at -j 4 meets the %.1fx floor" (speedup r4)
+              speedup_floor )
+        else
+          ( "fail",
+            Printf.sprintf "%.2fx at -j 4 is below the %.1fx floor"
+              (speedup r4) speedup_floor )
+  in
   note_json "scaling"
     ("["
     ^ String.concat ","
         (List.map
-           (fun (jobs, dt, (t, v, i, u), hits, lookups) ->
+           (fun r ->
+             let t, v, i, u = r.sc_counts in
              Printf.sprintf
                "{\"jobs\":%d,\"seconds\":%.4f,\"speedup\":%.3f,\"total\":%d,\
                 \"valid\":%d,\"invalid\":%d,\"unknown\":%d,\
-                \"cache_hits\":%d,\"cache_lookups\":%d}"
-               jobs dt (base /. dt) t v i u hits lookups)
+                \"cache_hits\":%d,\"cache_lookups\":%d,\"cache_waits\":%d,\
+                \"contended_cache_locks\":%d,\"contended_hashcons_locks\":%d}"
+               r.sc_jobs r.sc_dt (speedup r) t v i u r.sc_hits r.sc_lookups
+               r.sc_waits r.sc_cache_contended r.sc_hashcons_contended)
            rows)
-    ^ "]")
+    ^ "]");
+  note_json "scaling_meta"
+    (Printf.sprintf
+       "{\"recommended_domain_count\":%d,\"jobs_list\":[%s],\
+        \"timestamp\":\"%s\",\"speedup_floor\":%.2f,\"guard\":\"%s\"}"
+       recommended
+       (String.concat "," (List.map string_of_int scaling_jobs))
+       (iso8601_now ()) speedup_floor guard);
+  (* hard invariants, not warnings: a mismatch is a dispatch bug *)
+  (match rows with
+  | r0 :: rest when List.for_all (fun r -> r.sc_counts = r0.sc_counts) rest ->
+    Printf.printf "  verdict counts identical across all -j values: OK\n%!"
+  | _ :: _ -> failwith "verdict counts differ across -j values"
+  | [] -> ());
+  (match rows with
+  | r0 :: rest
+    when List.for_all
+           (fun r -> r.sc_hits = r0.sc_hits && r.sc_lookups = r0.sc_lookups)
+           rest ->
+    Printf.printf
+      "  cache hits/lookups identical across all -j values (claim-table \
+       dedup): OK\n%!"
+  | _ :: _ ->
+    failwith
+      "cache hit/lookup counts differ across -j values: in-flight \
+       deduplication is broken"
+  | [] -> ());
+  Printf.printf "  speedup floor guard (>=%.1fx at -j 4 on >=4-core hosts): %s — %s\n%!"
+    speedup_floor (String.uppercase_ascii guard) guard_detail;
+  if guard = "fail" then failwith ("speedup floor guard failed: " ^ guard_detail)
 
 (* ------------------------------------------------------------------ *)
 (* TRACE-OVERHEAD: tracing must be near-free when disabled             *)
@@ -1117,8 +1204,11 @@ let () =
   if !json_mode then begin
     let oc = open_out "BENCH_results.json" in
     Printf.fprintf oc
-      "{\"jobs\":%d,\"experiments\":[\n  %s\n]}\n"
+      "{\"jobs\":%d,\"recommended_domain_count\":%d,\"timestamp\":\"%s\",\
+       \"experiments\":[\n  %s\n]}\n"
       !bench_jobs
+      (Domain.recommended_domain_count ())
+      (iso8601_now ())
       (String.concat ",\n  " records);
     close_out oc;
     Printf.printf "\nwrote BENCH_results.json (%d experiments)\n%!"

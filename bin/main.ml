@@ -57,9 +57,13 @@ let stats_arg =
        & info [ "stats" ] ~doc:"Print per-prover statistics after verifying")
 
 let jobs_arg =
-  Arg.(value & opt int 1
+  Arg.(value & opt int 0
        & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Dispatch proof obligations across $(docv) worker domains")
+           ~doc:"Dispatch proof obligations across $(docv) worker domains. \
+                 $(docv) = 0 (the default) means auto: one worker per \
+                 available core, as reported by \
+                 Domain.recommended_domain_count. Values are clamped to \
+                 [1, 128]; 1 verifies sequentially")
 
 let no_cache_arg =
   Arg.(value & flag

@@ -54,6 +54,19 @@ let default_options () =
     jobs = 1; use_cache = true; budget_s = None; use_hashcons = true;
     sched = Dispatch.Sched.Adaptive; race = 1 }
 
+(* a ceiling on worker domains: beyond any real core count, more domains
+   only add stop-the-world GC synchronization cost *)
+let max_jobs = 128
+
+(** Resolve a requested [jobs] value: [j <= 0] means "auto" — one worker
+    per core as reported by [Domain.recommended_domain_count] — and
+    anything above {!max_jobs} is clamped.  The CLI exposes this as
+    [-j 0]; the library default stays [jobs = 1] (deterministic
+    sequential verification) for embedders. *)
+let effective_jobs (j : int) : int =
+  if j <= 0 then min (Domain.recommended_domain_count ()) max_jobs
+  else min j max_jobs
+
 (* loop-invariant inference uses the fast provers only; the full portfolio
    still checks the final obligations *)
 let shape_provers (opts : options) : Logic.Sequent.prover list =
@@ -78,11 +91,10 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
      included *)
   Logic.Hashcons.set_enabled opts.use_hashcons;
   (* one pool serves both fan-out levels: methods are verified in
-     parallel and each method's obligations are claimed from the same
-     shared queue (Pool.map nests safely) *)
-  let pool =
-    if opts.jobs > 1 then Some (Dispatch.Pool.create ~jobs:opts.jobs) else None
-  in
+     parallel and each method's obligations fan out on the same
+     work-stealing deques (Pool.map nests safely) *)
+  let jobs = effective_jobs opts.jobs in
+  let pool = if jobs > 1 then Some (Dispatch.Pool.create ~jobs) else None in
   let cache =
     if opts.use_cache then Some (Dispatch.Cache.create ()) else None
   in

@@ -1,4 +1,5 @@
-(** Verdict cache: settle each distinct proof obligation once.
+(** Verdict cache: settle each distinct proof obligation once — even
+    when identical obligations arrive on different domains at once.
 
     Obligations repeat heavily — [requires]/invariant re-checks across
     methods, and every round of the speculative-invariant weakening loop
@@ -7,9 +8,31 @@
     and bound-variable names don't matter) and the verdict plus the name
     of the prover that settled it are stored.
 
-    The cache is shared by all domains of a dispatcher; a mutex guards the
-    table and the hit/miss counters.  Lookups and insertions are tiny
-    compared to a prover call, so contention is negligible. *)
+    {2 Sharding}
+
+    The old implementation was one [Hashtbl] behind one mutex: every
+    lookup from every domain serialized on a single lock.  The table is
+    now split into 64 independent shards selected by the key's hash, so
+    two domains contend only when their digests land in the same shard;
+    each shard carries its own lock, condvar and counters.  A contended
+    acquisition counter ({!lock_stats}) keeps the claim honest: the
+    scaling bench records it as evidence the cache is off the critical
+    path.
+
+    {2 The in-flight claim table}
+
+    Under the old cache, two domains racing on the same digest both
+    missed and both paid a prover call — duplicated work, and hit/miss
+    counters that changed with [-j].  {!acquire} closes the window: the
+    first caller {e claims} the key and proves; later callers block on
+    the shard's condvar and are served the published verdict as a hit,
+    exactly as they would have been sequentially.  A claim owner must
+    {!publish} a settled verdict or {!abandon} the claim (Unknown
+    verdicts are never cached); an abandon wakes the waiters, and the
+    first to re-check claims the key afresh — so an obligation that
+    settles as Unknown is re-attempted exactly as often as it would be
+    at [-j 1].  Counters are bumped once per {!acquire}, at resolution,
+    which makes [hit_count]/[miss_count] deterministic across [-j]. *)
 
 open Logic
 
@@ -18,49 +41,147 @@ type entry = {
   prover : string option; (* which prover settled it, for reports *)
 }
 
-type t = {
-  table : (string, entry) Hashtbl.t;
-  mutex : Mutex.t;
+type state =
+  | Done of entry
+  | Inflight (* some domain holds the claim and is proving *)
+
+type shard = {
+  lock : Mutex.t;
+  settled : Condition.t; (* signalled on publish and abandon *)
+  table : (string, state) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable waits : int; (* lookups that blocked on an in-flight claim *)
 }
 
+type t = { shards : shard array; mask : int }
+
+let shard_count = 64
+
+(* contended lock acquisitions across every cache in the process: the
+   scaling bench's attribution evidence.  Only the slow path pays the
+   atomic bump, so the counter cannot itself become the hot line. *)
+let contended = Atomic.make 0
+
+let lock_shard (sh : shard) =
+  if not (Mutex.try_lock sh.lock) then begin
+    Atomic.incr contended;
+    Mutex.lock sh.lock
+  end
+
+type lock_stats = { contended_acquisitions : int }
+
+let lock_stats () = { contended_acquisitions = Atomic.get contended }
+let reset_lock_stats () = Atomic.set contended 0
+
 let create () : t =
-  { table = Hashtbl.create 64; mutex = Mutex.create (); hits = 0; misses = 0 }
+  { shards =
+      Array.init shard_count (fun _ ->
+          { lock = Mutex.create ();
+            settled = Condition.create ();
+            table = Hashtbl.create 16;
+            hits = 0;
+            misses = 0;
+            waits = 0 });
+    mask = shard_count - 1 }
 
 (** The cache key of a sequent (see {!Logic.Sequent.digest}). *)
 let key (s : Sequent.t) : string = Sequent.digest s
 
-let find (c : t) (k : string) : entry option =
-  Mutex.lock c.mutex;
-  let r = Hashtbl.find_opt c.table k in
-  (match r with
-  | Some _ -> c.hits <- c.hits + 1
-  | None -> c.misses <- c.misses + 1);
-  Mutex.unlock c.mutex;
-  (match r with
-  | Some _ -> Trace.incr "cache.hit"
-  | None -> Trace.incr "cache.miss");
+let shard_of (c : t) (k : string) : shard =
+  c.shards.(Hashtbl.hash k land c.mask)
+
+type claim =
+  | Hit of entry (* served from the cache (possibly after a wait) *)
+  | Claimed (* this caller owns the key: publish or abandon it *)
+
+(** Look the key up, claiming it if absent.  Exactly one hit or miss is
+    counted per call, at resolution time, so the counters do not depend
+    on how claims interleave.  [waits] counts blocked lookups and is the
+    only schedule-dependent counter. *)
+let acquire (c : t) (k : string) : claim =
+  let sh = shard_of c k in
+  lock_shard sh;
+  let rec resolve () =
+    match Hashtbl.find_opt sh.table k with
+    | Some (Done e) ->
+      sh.hits <- sh.hits + 1;
+      Mutex.unlock sh.lock;
+      Trace.incr "cache.hit";
+      Hit e
+    | Some Inflight ->
+      sh.waits <- sh.waits + 1;
+      Trace.incr "cache.wait";
+      Condition.wait sh.settled sh.lock;
+      resolve ()
+    | None ->
+      Hashtbl.replace sh.table k Inflight;
+      sh.misses <- sh.misses + 1;
+      Mutex.unlock sh.lock;
+      Trace.incr "cache.miss";
+      Claimed
+  in
+  resolve ()
+
+(** Publish the verdict for a key (normally one this caller claimed) and
+    wake any waiters. *)
+let publish (c : t) (k : string) (e : entry) : unit =
+  let sh = shard_of c k in
+  lock_shard sh;
+  Hashtbl.replace sh.table k (Done e);
+  Condition.broadcast sh.settled;
+  Mutex.unlock sh.lock
+
+(** Give a claim up without caching anything (Unknown verdicts, prover
+    exceptions).  The first waiter to wake re-claims the key. *)
+let abandon (c : t) (k : string) : unit =
+  let sh = shard_of c k in
+  lock_shard sh;
+  (match Hashtbl.find_opt sh.table k with
+  | Some Inflight -> Hashtbl.remove sh.table k
+  | Some (Done _) | None -> ());
+  Condition.broadcast sh.settled;
+  Mutex.unlock sh.lock
+
+(** Non-claiming lookup of a settled verdict; does not touch counters
+    and does not wait on in-flight claims. *)
+let peek (c : t) (k : string) : entry option =
+  let sh = shard_of c k in
+  lock_shard sh;
+  let r =
+    match Hashtbl.find_opt sh.table k with
+    | Some (Done e) -> Some e
+    | Some Inflight | None -> None
+  in
+  Mutex.unlock sh.lock;
   r
 
-let add (c : t) (k : string) (e : entry) : unit =
-  Mutex.lock c.mutex;
-  (* first writer wins: concurrent domains proving the same obligation
-     reach identical verdicts, so either entry is correct *)
-  if not (Hashtbl.mem c.table k) then Hashtbl.add c.table k e;
-  Mutex.unlock c.mutex
-
-type counters = { hit_count : int; miss_count : int; entries : int }
+type counters = {
+  hit_count : int;
+  miss_count : int;
+  wait_count : int;
+  entries : int;
+}
 
 let counters (c : t) : counters =
-  Mutex.lock c.mutex;
-  let r =
-    { hit_count = c.hits;
-      miss_count = c.misses;
-      entries = Hashtbl.length c.table }
-  in
-  Mutex.unlock c.mutex;
-  r
+  Array.fold_left
+    (fun acc sh ->
+      lock_shard sh;
+      let settled_entries =
+        Hashtbl.fold
+          (fun _ st n -> match st with Done _ -> n + 1 | Inflight -> n)
+          sh.table 0
+      in
+      let r =
+        { hit_count = acc.hit_count + sh.hits;
+          miss_count = acc.miss_count + sh.misses;
+          wait_count = acc.wait_count + sh.waits;
+          entries = acc.entries + settled_entries }
+      in
+      Mutex.unlock sh.lock;
+      r)
+    { hit_count = 0; miss_count = 0; wait_count = 0; entries = 0 }
+    c.shards
 
 (** Hit rate over all lookups so far; 0 when nothing was looked up. *)
 let hit_rate (c : t) : float =

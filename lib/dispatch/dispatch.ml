@@ -384,23 +384,32 @@ let prove_sequent_inner (d : t) (s : Sequent.t) : report =
   | None -> prove_uncached d s
   | Some cache -> (
     let k = Cache.key s in
-    match Cache.find cache k with
-    | Some e ->
+    match Cache.acquire cache k with
+    | Cache.Hit e ->
       { sequent = s;
         verdict = e.Cache.verdict;
         prover = e.Cache.prover;
         cached = true }
-    | None ->
-      let r = prove_uncached d s in
-      (* only settled verdicts are cacheable: an [Unknown] depends on the
-         portfolio composition and per-prover budgets in force at the
-         time, so replaying it would mask a later, better-resourced
-         attempt from succeeding *)
-      (match r.verdict with
-      | Sequent.Valid | Sequent.Invalid _ ->
-        Cache.add cache k { Cache.verdict = r.verdict; prover = r.prover }
-      | Sequent.Unknown _ -> Trace.incr "cache.unknown_not_cached");
-      r)
+    | Cache.Claimed -> (
+      (* we hold the in-flight claim for [k]: identical obligations on
+         other domains are blocked in [acquire] until we settle it, so
+         the claim must be released on every exit path *)
+      match prove_uncached d s with
+      | r ->
+        (* only settled verdicts are cacheable: an [Unknown] depends on
+           the portfolio composition and per-prover budgets in force at
+           the time, so replaying it would mask a later, better-
+           resourced attempt from succeeding *)
+        (match r.verdict with
+        | Sequent.Valid | Sequent.Invalid _ ->
+          Cache.publish cache k { Cache.verdict = r.verdict; prover = r.prover }
+        | Sequent.Unknown _ ->
+          Cache.abandon cache k;
+          Trace.incr "cache.unknown_not_cached");
+        r
+      | exception e ->
+        Cache.abandon cache k;
+        raise e))
 
 (** Prove one sequent with the portfolio, consulting the verdict cache
     first.  The cache key is computed on the incoming sequent, before any

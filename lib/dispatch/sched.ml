@@ -104,6 +104,15 @@ let signature (s : Sequent.t) : string =
 (* Learned per-(prover × signature) statistics                         *)
 (* ------------------------------------------------------------------ *)
 
+(* The scheduler's hot path is [score], called for every (obligation ×
+   prover) pair.  It used to lock a stripe per call, which put one more
+   shared mutex on every obligation's critical path.  Stat records are
+   now immortal: once a (prover, signature) pair's record is created it
+   is only ever mutated in place, never replaced, so each domain can
+   memoize the record pointer in domain-local storage and read its
+   fields without any lock.  Writers still serialize on the stripe lock;
+   readers may observe a slightly stale EMA, which can only perturb
+   attempt {e order}, never a verdict (see the module header). *)
 type stat = {
   mutable ema_latency : float; (* seconds per attempt *)
   mutable ema_settle : float; (* fraction of attempts answering Valid/Invalid *)
@@ -116,6 +125,7 @@ type stripe = {
 }
 
 type t = {
+  uid : int; (* distinguishes schedulers in the domain-local memo *)
   policy : policy;
   race : int; (* how many admitted provers to race; 1 = cascade *)
   admits : (string, Sequent.t -> bool) Hashtbl.t;
@@ -123,11 +133,13 @@ type t = {
 }
 
 let n_stripes = 8
+let uids = Atomic.make 0
 
 let create ?(policy = Fixed) ?(race = 1) ?(admits = []) () : t =
   let table = Hashtbl.create (List.length admits) in
   List.iter (fun (name, pred) -> Hashtbl.replace table name pred) admits;
-  { policy;
+  { uid = Atomic.fetch_and_add uids 1;
+    policy;
     race = max 1 race;
     admits = table;
     stripes =
@@ -148,6 +160,37 @@ let cold_settle = 0.5
 let min_samples = 3
 let ema_alpha = 0.25
 
+(* Per-domain memo of stat-record pointers, keyed by (scheduler uid,
+   prover, signature).  Records are created exactly once under the
+   stripe lock and never replaced, so a memoized pointer stays valid for
+   the life of the scheduler and subsequent [score] calls touch no
+   shared lock at all. *)
+let stat_memo_key : (int * string * string, stat) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let stat_for (t : t) (key : string * string) : stat =
+  let memo = Domain.DLS.get stat_memo_key in
+  let prover, signature = key in
+  let mk = (t.uid, prover, signature) in
+  match Hashtbl.find_opt memo mk with
+  | Some st -> st
+  | None ->
+    let stripe = stripe_of t key in
+    Mutex.lock stripe.lock;
+    let st =
+      match Hashtbl.find_opt stripe.table key with
+      | Some st -> st
+      | None ->
+        let st =
+          { ema_latency = cold_latency; ema_settle = cold_settle; samples = 0 }
+        in
+        Hashtbl.add stripe.table key st;
+        st
+    in
+    Mutex.unlock stripe.lock;
+    Hashtbl.add memo mk st;
+    st
+
 (** Fold one attempt into the EMAs.  [settled] means the prover answered
     [Valid] or [Invalid]; a cancelled racer counts as an unsettled attempt
     at the time it was allowed to run, which mildly reinforces whoever
@@ -155,18 +198,11 @@ let ema_alpha = 0.25
 let record (t : t) ~(signature : string) ~(prover : string)
     ~(latency_s : float) ~(settled : bool) : unit =
   let key = (prover, signature) in
+  let st = stat_for t key in
+  (* writers serialize on the stripe so the EMA read-modify-write is not
+     lost; lock-free readers may see the fields mid-update *)
   let stripe = stripe_of t key in
   Mutex.lock stripe.lock;
-  let st =
-    match Hashtbl.find_opt stripe.table key with
-    | Some st -> st
-    | None ->
-      let st =
-        { ema_latency = cold_latency; ema_settle = cold_settle; samples = 0 }
-      in
-      Hashtbl.add stripe.table key st;
-      st
-  in
   st.samples <- st.samples + 1;
   st.ema_latency <- st.ema_latency +. (ema_alpha *. (latency_s -. st.ema_latency));
   st.ema_settle <-
@@ -179,17 +215,14 @@ let record (t : t) ~(signature : string) ~(prover : string)
    this prover per solved goal; ordering ascending minimizes the expected
    total time of the cascade. *)
 let score (t : t) ~(signature : string) (prover : string) : float =
-  let key = (prover, signature) in
-  let stripe = stripe_of t key in
-  Mutex.lock stripe.lock;
-  let r =
-    match Hashtbl.find_opt stripe.table key with
-    | Some st when st.samples >= min_samples ->
-      st.ema_latency /. Float.max st.ema_settle 0.02
-    | _ -> cold_latency /. cold_settle
-  in
-  Mutex.unlock stripe.lock;
-  r
+  let st = stat_for t (prover, signature) in
+  (* lock-free read of the memoized record: [samples] is a word-sized
+     field and the EMAs are boxed floats, so each read is atomic; a read
+     concurrent with [record] sees a recent value, which at worst
+     reorders the cascade for this one obligation *)
+  if st.samples >= min_samples then
+    st.ema_latency /. Float.max st.ema_settle 0.02
+  else cold_latency /. cold_settle
 
 (** Admitted provers in attempt order.  [Fixed]: the portfolio order,
     untouched.  [Adaptive]: sorted by {!score}, ties broken by portfolio

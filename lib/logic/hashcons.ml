@@ -78,6 +78,29 @@ end
    program-wide, which lets memo tables be shared across node types *)
 let next_tag = Atomic.make 0
 
+(* --------------------------------------------------------------- *)
+(* Lock-contention audit                                            *)
+(* --------------------------------------------------------------- *)
+
+(* Shard and stripe mutexes are supposed to be effectively private at
+   any realistic [-j]; this counter is the evidence.  [lock_mutex] takes
+   the uncontended path with one [try_lock] (same cost as [lock]) and
+   only a lost race pays the atomic bump, so the audit cannot itself
+   become the contended line.  The scaling bench snapshots it to
+   attribute multicore overhead. *)
+let contended = Atomic.make 0
+
+let lock_mutex (m : Mutex.t) =
+  if not (Mutex.try_lock m) then begin
+    Atomic.incr contended;
+    Mutex.lock m
+  end
+
+type lock_stats = { contended_acquisitions : int }
+
+let lock_stats () = { contended_acquisitions = Atomic.get contended }
+let reset_lock_stats () = Atomic.set contended 0
+
 let round_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
@@ -142,7 +165,7 @@ module Make (H : HashedType) : S with type key = H.t = struct
   let hashcons (t : t) (k : key) : data =
     let hk = H.hash k land max_int in
     let sh = t.shards.(hk land t.shard_mask) in
-    Mutex.lock sh.lock;
+    lock_mutex sh.lock;
     let len = Array.length sh.table in
     let idx = index hk len in
     let b = sh.table.(idx) in
@@ -232,14 +255,14 @@ module Memo = struct
   let find_or_add (m : 'a t) (tag : int) (compute : unit -> 'a) : 'a =
     let i = tag land m.mask in
     let lock = m.locks.(i) and tbl = m.tables.(i) in
-    Mutex.lock lock;
+    lock_mutex lock;
     let cached = Hashtbl.find_opt tbl tag in
     Mutex.unlock lock;
     match cached with
     | Some v -> v
     | None ->
       let v = compute () in
-      Mutex.lock lock;
+      lock_mutex lock;
       if Hashtbl.length tbl >= max_stripe_entries then Hashtbl.reset tbl;
       (* first writer wins; racing writers computed the same pure value *)
       if not (Hashtbl.mem tbl tag) then Hashtbl.add tbl tag v;

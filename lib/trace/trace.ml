@@ -112,6 +112,36 @@ type sink = {
 let sink_mutex = Mutex.create ()
 let sink : sink option ref = ref None
 
+(* Per-domain event buffers: the sink mutex used to be taken for every
+   single event, which serialized all domains on one global lock right
+   on the proving hot path.  Events are now formatted and appended to a
+   domain-local buffer (guarded by a per-domain lock only because budget
+   helper systhreads share their domain's DLS slot) and the sink mutex
+   is paid once per [flush_threshold] bytes and once at [stop].  Batches
+   are written whole, so each thread's events stay in emission order in
+   the file and the per-tid span balance the validator checks is
+   preserved. *)
+type ebuf = { elock : Mutex.t; ebuf : Buffer.t }
+
+let ebuf_registry : ebuf list ref = ref []
+let ebuf_registry_mutex = Mutex.create ()
+
+let ebuf_key : ebuf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { elock = Mutex.create (); ebuf = Buffer.create 4096 } in
+      Mutex.lock ebuf_registry_mutex;
+      ebuf_registry := b :: !ebuf_registry;
+      Mutex.unlock ebuf_registry_mutex;
+      b)
+
+let flush_threshold = 32 * 1024
+
+let all_ebufs () : ebuf list =
+  Mutex.lock ebuf_registry_mutex;
+  let ebs = !ebuf_registry in
+  Mutex.unlock ebuf_registry_mutex;
+  ebs
+
 let add_json_string buf s =
   Buffer.add_char buf '"';
   String.iter
@@ -162,9 +192,11 @@ let format_event ~format ~ph ~ts ~tid ~cat ~name (args : args) : string =
     end;
     Buffer.add_string buf "}\n"
   | Chrome ->
-    (* trace_event format: timestamps in microseconds, one process *)
+    (* trace_event format: timestamps in microseconds, one process.
+       Every event carries its ",\n" separator as a prefix; the flusher
+       strips it from the first event of the file. *)
     Buffer.add_string buf
-      (Printf.sprintf "{\"ph\":\"%c\",\"ts\":%.1f,\"pid\":1,\"tid\":%d,\"cat\":" ph
+      (Printf.sprintf ",\n{\"ph\":\"%c\",\"ts\":%.1f,\"pid\":1,\"tid\":%d,\"cat\":" ph
          (ts *. 1e6) tid);
     add_json_string buf cat;
     Buffer.add_string buf ",\"name\":";
@@ -176,23 +208,41 @@ let format_event ~format ~ph ~ts ~tid ~cat ~name (args : args) : string =
     Buffer.add_char buf '}');
   Buffer.contents buf
 
+(* write a domain's pending batch to the sink; call with [eb.elock]
+   held.  Lock order is always elock -> sink_mutex. *)
+let flush_ebuf_locked (eb : ebuf) : unit =
+  if Buffer.length eb.ebuf > 0 then begin
+    Mutex.lock sink_mutex;
+    (match !sink with
+    | Some sk when not sk.closed -> (
+      let s = Buffer.contents eb.ebuf in
+      match sk.format with
+      | Jsonl -> output_string sk.channel s
+      | Chrome ->
+        if sk.first then begin
+          (* drop the leading ",\n" of the file's first event *)
+          sk.first <- false;
+          output_string sk.channel (String.sub s 2 (String.length s - 2))
+        end
+        else output_string sk.channel s)
+    | _ -> ());
+    Mutex.unlock sink_mutex;
+    Buffer.clear eb.ebuf
+  end
+
 let emit ~ph ~ts ~tid ~cat ~name (args : args) : unit =
   match !sink with
   | None -> ()
   | Some sk ->
-    (* format outside the lock; abandoned budget threads may land here
-       after [stop], hence the [closed] re-check under the lock *)
+    (* format outside any lock; abandoned budget threads may land here
+       after [stop] — their batch then sits in the buffer until the next
+       [open_sink] discards it *)
     let line = format_event ~format:sk.format ~ph ~ts ~tid ~cat ~name args in
-    Mutex.lock sink_mutex;
-    (match !sink with
-    | Some sk when not sk.closed -> (
-      match sk.format with
-      | Jsonl -> output_string sk.channel line
-      | Chrome ->
-        if sk.first then sk.first <- false else output_string sk.channel ",\n";
-        output_string sk.channel line)
-    | _ -> ());
-    Mutex.unlock sink_mutex
+    let eb = Domain.DLS.get ebuf_key in
+    Mutex.lock eb.elock;
+    Buffer.add_string eb.ebuf line;
+    if Buffer.length eb.ebuf >= flush_threshold then flush_ebuf_locked eb;
+    Mutex.unlock eb.elock
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -262,6 +312,14 @@ let start_collecting () : unit =
 (** Attach a file sink.  Call before or after {!start_collecting};
     events only flow while collection is on. *)
 let open_sink ?(format = Jsonl) (path : string) : unit =
+  (* straggler events buffered after a previous [stop] (abandoned budget
+     threads) must not leak into this sink *)
+  List.iter
+    (fun eb ->
+      Mutex.lock eb.elock;
+      Buffer.clear eb.ebuf;
+      Mutex.unlock eb.elock)
+    (all_ebufs ());
   let channel = open_out path in
   if format = Chrome then output_string channel "[\n";
   Mutex.lock sink_mutex;
@@ -272,6 +330,13 @@ let open_sink ?(format = Jsonl) (path : string) : unit =
     footer).  Aggregates survive for {!span_stats} / {!counter_list}. *)
 let stop () : unit =
   Atomic.set enabled_flag false;
+  (* drain every domain's pending batch before closing the channel *)
+  List.iter
+    (fun eb ->
+      Mutex.lock eb.elock;
+      flush_ebuf_locked eb;
+      Mutex.unlock eb.elock)
+    (all_ebufs ());
   Mutex.lock sink_mutex;
   (match !sink with
   | Some sk when not sk.closed ->

@@ -50,6 +50,93 @@ let test_pool_exception () =
   Alcotest.(check string) "exception propagates" "boom" r
 
 (* ------------------------------------------------------------------ *)
+(* The work-stealing deque                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_deque_ops () =
+  let open Dispatch.Pool.Deque in
+  let d = create ~capacity:2 () in
+  (* push across several buffer doublings *)
+  for i = 1 to 100 do
+    push d i
+  done;
+  Alcotest.(check int) "size" 100 (size d);
+  Alcotest.(check (option int)) "owner pops newest" (Some 100) (pop d);
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1) (steal d);
+  Alcotest.(check (option int)) "steal advances" (Some 2) (steal d);
+  Alcotest.(check (option int)) "pop unaffected" (Some 99) (pop d);
+  let rec drain n = match pop d with Some _ -> drain (n + 1) | None -> n in
+  Alcotest.(check int) "remaining elements" 96 (drain 0);
+  Alcotest.(check (option int)) "empty pop" None (pop d);
+  Alcotest.(check (option int)) "empty steal" None (steal d)
+
+let test_deque_concurrent_steal () =
+  (* one owner pushing and popping, two thieves stealing: every element
+     is claimed exactly once — none lost, none duplicated *)
+  let open Dispatch.Pool.Deque in
+  let n = 20_000 in
+  let d = create () in
+  let claimed = Array.init n (fun _ -> Atomic.make 0) in
+  let stop = Atomic.make false in
+  let thief () =
+    let rec go () =
+      match steal d with
+      | Some i ->
+        Atomic.incr claimed.(i);
+        go ()
+      | None -> if not (Atomic.get stop) then (Domain.cpu_relax (); go ())
+    in
+    go ()
+  in
+  let t1 = Domain.spawn thief and t2 = Domain.spawn thief in
+  for i = 0 to n - 1 do
+    push d i;
+    if i mod 3 = 0 then
+      match pop d with Some j -> Atomic.incr claimed.(j) | None -> ()
+  done;
+  let rec drain () =
+    match pop d with
+    | Some j ->
+      Atomic.incr claimed.(j);
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Domain.join t1;
+  Domain.join t2;
+  let bad = ref 0 in
+  Array.iter (fun a -> if Atomic.get a <> 1 then incr bad) claimed;
+  Alcotest.(check int) "every element claimed exactly once" 0 !bad
+
+let test_pool_stress () =
+  (* N domains x M tasks with nested submission: every task runs exactly
+     once and nothing deadlocks *)
+  let pool = Dispatch.Pool.create ~jobs:4 in
+  let outer = 40 and inner = 25 in
+  let runs = Array.init (outer * inner) (fun _ -> Atomic.make 0) in
+  let totals =
+    Dispatch.Pool.map pool
+      (fun i ->
+        let sub =
+          Dispatch.Pool.map pool
+            (fun j ->
+              Atomic.incr runs.((i * inner) + j);
+              1)
+            (List.init inner (fun j -> j))
+        in
+        List.fold_left ( + ) 0 sub)
+      (List.init outer (fun i -> i))
+  in
+  Dispatch.Pool.shutdown pool;
+  Alcotest.(check (list int)) "every inner batch completed"
+    (List.init outer (fun _ -> inner))
+    totals;
+  let bad = ref 0 in
+  Array.iter (fun a -> if Atomic.get a <> 1 then incr bad) runs;
+  Alcotest.(check int) "each task ran exactly once" 0 !bad
+
+(* ------------------------------------------------------------------ *)
 (* Canonicalization and digests                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -186,6 +273,98 @@ let test_cache_bypass () =
   ignore (Dispatch.prove_sequent d s);
   ignore (Dispatch.prove_sequent d s);
   Alcotest.(check int) "prover ran every time" 3 !count
+
+(* ------------------------------------------------------------------ *)
+(* The in-flight claim table                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_claim_race () =
+  (* domains racing on one key: exactly one gets the claim, the others
+     are served the published verdict as hits — and the counters come
+     out the same no matter how the race interleaves *)
+  let c = Dispatch.Cache.create () in
+  let k = "claim-race-digest" in
+  let entry = { Dispatch.Cache.verdict = Sequent.Valid; prover = Some "smt" } in
+  let claims = Atomic.make 0 and hits = Atomic.make 0 in
+  let release = Atomic.make false in
+  let worker () =
+    match Dispatch.Cache.acquire c k with
+    | Dispatch.Cache.Claimed ->
+      Atomic.incr claims;
+      (* hold the claim until the main thread releases it, so the other
+         workers really do have to wait on an in-flight entry *)
+      while not (Atomic.get release) do
+        Domain.cpu_relax ()
+      done;
+      Dispatch.Cache.publish c k entry
+    | Dispatch.Cache.Hit e ->
+      if e.Dispatch.Cache.verdict = Sequent.Valid then Atomic.incr hits
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn worker) in
+  Unix.sleepf 0.05;
+  Atomic.set release true;
+  List.iter Domain.join ds;
+  Alcotest.(check int) "exactly one claim" 1 (Atomic.get claims);
+  Alcotest.(check int) "every other lookup hits" 2 (Atomic.get hits);
+  let k' = Dispatch.Cache.counters c in
+  Alcotest.(check int) "one miss counted" 1 k'.Dispatch.Cache.miss_count;
+  Alcotest.(check int) "two hits counted" 2 k'.Dispatch.Cache.hit_count
+
+let test_cache_claim_abandon () =
+  let c = Dispatch.Cache.create () in
+  let k = "claim-abandon-digest" in
+  (match Dispatch.Cache.acquire c k with
+  | Dispatch.Cache.Claimed -> ()
+  | Dispatch.Cache.Hit _ -> Alcotest.fail "fresh key cannot hit");
+  (* a second domain blocks on the in-flight claim *)
+  let second =
+    Domain.spawn (fun () ->
+        match Dispatch.Cache.acquire c k with
+        | Dispatch.Cache.Claimed ->
+          Dispatch.Cache.publish c k
+            { Dispatch.Cache.verdict = Sequent.Valid; prover = None };
+          "reclaimed"
+        | Dispatch.Cache.Hit _ -> "hit")
+  in
+  Unix.sleepf 0.05;
+  (* giving the claim up (an Unknown verdict) wakes the waiter, which
+     re-claims and settles the key itself — same as at -j 1 *)
+  Dispatch.Cache.abandon c k;
+  Alcotest.(check string) "abandoned claim falls to the waiter" "reclaimed"
+    (Domain.join second);
+  (match Dispatch.Cache.acquire c k with
+  | Dispatch.Cache.Hit _ -> ()
+  | Dispatch.Cache.Claimed -> Alcotest.fail "published entry must hit");
+  let k' = Dispatch.Cache.counters c in
+  Alcotest.(check int) "two misses: claim and re-claim" 2
+    k'.Dispatch.Cache.miss_count;
+  Alcotest.(check int) "one hit: the settled lookup" 1
+    k'.Dispatch.Cache.hit_count
+
+let test_claim_dedups_in_dispatcher () =
+  (* four identical obligations fanned out at -j 4 cost ONE prover call:
+     the claim table blocks the other three until the verdict lands *)
+  let calls = Atomic.make 0 in
+  let prover =
+    { Sequent.prover_name = "slowcount";
+      prove =
+        (fun _ ->
+          Atomic.incr calls;
+          Thread.delay 0.05;
+          Sequent.Valid) }
+  in
+  let cache = Dispatch.Cache.create () in
+  let pool = Dispatch.Pool.create ~jobs:4 in
+  let d = Dispatch.create ~pool ~cache [ prover ] in
+  let s = seq [ "x > 0"; "x < 2" ] "x = 1" in
+  let copies = List.init 4 (fun _ -> s) in
+  let r = Dispatch.summarize (Dispatch.prove_all d copies) in
+  Dispatch.Pool.shutdown pool;
+  Alcotest.(check int) "all four obligations settled" 4 r.Dispatch.valid;
+  Alcotest.(check int) "prover called exactly once" 1 (Atomic.get calls);
+  let k = Dispatch.Cache.counters cache in
+  Alcotest.(check int) "one miss" 1 k.Dispatch.Cache.miss_count;
+  Alcotest.(check int) "three hits" 3 k.Dispatch.Cache.hit_count
 
 (* ------------------------------------------------------------------ *)
 (* Parallel dispatch agrees with sequential dispatch                   *)
@@ -522,6 +701,11 @@ let suite =
         Alcotest.test_case "pool nested map" `Quick test_pool_nested;
         Alcotest.test_case "pool exception propagation" `Quick
           test_pool_exception;
+        Alcotest.test_case "deque push/pop/steal" `Quick test_deque_ops;
+        Alcotest.test_case "deque concurrent steal exactly-once" `Quick
+          test_deque_concurrent_steal;
+        Alcotest.test_case "pool stress: nested maps, exactly-once" `Quick
+          test_pool_stress;
         Alcotest.test_case "digest: hypothesis order" `Quick
           test_digest_hyp_order;
         Alcotest.test_case "digest: alpha-equivalence" `Quick test_digest_alpha;
@@ -539,6 +723,12 @@ let suite =
         Alcotest.test_case "unknown verdicts not cached" `Quick
           test_unknown_not_cached;
         Alcotest.test_case "no cache re-proves" `Quick test_cache_bypass;
+        Alcotest.test_case "claim table: racing domains" `Quick
+          test_cache_claim_race;
+        Alcotest.test_case "claim table: abandon wakes waiter" `Quick
+          test_cache_claim_abandon;
+        Alcotest.test_case "claim table dedups in dispatcher" `Quick
+          test_claim_dedups_in_dispatcher;
         Alcotest.test_case "parallel matches sequential" `Quick
           test_parallel_matches_sequential;
         Alcotest.test_case "budget exceeded" `Quick test_budget_exceeded;
