@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI should run.
 
-.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench-scaling bench bench-json clean
+.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench-scaling bench-daemon serve-smoke bench bench-json clean
 
 all: build
 
@@ -27,6 +27,8 @@ check:
 	$(MAKE) perf-smoke
 	$(MAKE) bench-sched
 	$(MAKE) bench-scaling
+	$(MAKE) bench-daemon
+	$(MAKE) serve-smoke
 
 # a short fixed-seed differential fuzz of every fragment: any prover
 # disagreement (or prover-vs-oracle contradiction) exits non-zero
@@ -57,6 +59,22 @@ bench-sched:
 # scaling rows in BENCH_results.json via bench-json in CI
 bench-scaling:
 	dune exec bench/main.exe -- scaling
+
+# guard for the verification daemon + persistent verdict store: warm
+# JSONL replay of the fully-verified example groups must beat the cold
+# CLI by >=3x with identical verdicts, including after a daemon restart
+# that re-serves from the on-disk store; refreshes BENCH_daemon.json
+bench-daemon:
+	dune exec bench/main.exe -- daemon
+
+# one stdio round-trip through the real daemon: a prove request must
+# come back valid on the same line-oriented protocol the socket serves
+serve-smoke:
+	printf '%s\n' \
+	  '{"id":1,"cmd":"prove","hyps":["x <= y","y <= z"],"goal":"x <= z"}' \
+	  | dune exec -- jahob serve --stdio --store serve_smoke.jstore \
+	  | grep -q '"verdict":"valid"'
+	rm -f serve_smoke.jstore
 
 bench:
 	dune exec bench/main.exe

@@ -22,9 +22,9 @@ let examples_dir =
   | None -> "examples"
 
 let time_it f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Clock.now () -. t0)
 
 let header title =
   Printf.printf "\n==============================================\n%s\n==============================================\n%!"
@@ -631,7 +631,7 @@ let trace_overhead () =
     (* best of 5 runs: the minimum is the least noise-contaminated *)
     let best = ref infinity in
     for _ = 1 to 5 do
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       for i = 1 to iters do
         if wrapped then
           Trace.with_span ~cat:"bench"
@@ -639,7 +639,7 @@ let trace_overhead () =
             "workload" workload
         else workload ()
       done;
-      best := Float.min !best (Unix.gettimeofday () -. t0)
+      best := Float.min !best (Clock.now () -. t0)
     done;
     !best
   in
@@ -703,11 +703,11 @@ let hashcons_time ~enabled ~runs ~iters work =
   for _ = 1 to runs do
     Hashcons.set_enabled enabled;
     Form.clear_memos ();
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     for _ = 1 to iters do
       work ()
     done;
-    best := Float.min !best (Unix.gettimeofday () -. t0)
+    best := Float.min !best (Clock.now () -. t0)
   done;
   Hashcons.set_enabled true;
   !best
@@ -1083,6 +1083,229 @@ let sched_bench () =
          "adaptive/fixed wall-clock ratio %.3f exceeds the 0.85 bound" ratio)
 
 (* ------------------------------------------------------------------ *)
+(* DAEMON: warm daemon replay vs cold CLI runs                         *)
+(* ------------------------------------------------------------------ *)
+
+(* the fully-verified groups: every obligation settles, so every verdict
+   is cacheable.  list/ is excluded by design — its implementation-side
+   obligations answer Unknown, which the cache (correctly) never stores,
+   so they are re-proved on every replay and would only measure prover
+   time, not daemon warmth. *)
+let daemon_suite =
+  [ [ "list_annotated/Client.java"; "list_annotated/List.java" ];
+    [ "global/Buffer.java" ];
+    [ "assoc/AssocClient.java"; "assoc/Assoc.java" ];
+    [ "game/Game.java" ];
+    [ "arrays/ArrayOps.java" ];
+    [ "stack/Stack.java" ];
+  ]
+
+(* the make-check guard: warm daemon replay of the suite must beat the
+   cold CLI by at least this factor, with identical verdicts *)
+let daemon_speedup_floor = 3.0
+let daemon_replays = 3
+
+(* a verdict signature: every method's obligations with their full
+   verdict strings, in order — what "byte-identical verdicts" compares *)
+type daemon_sig = (string * (string * string) list) list
+
+let daemon_sig_of_report (r : Jahob_core.Jahob.program_report) : daemon_sig =
+  List.map
+    (fun (m : Jahob_core.Jahob.method_report) ->
+      ( m.Jahob_core.Jahob.method_name,
+        List.map
+          (fun (rep : Dispatch.report) ->
+            ( rep.Dispatch.sequent.Sequent.name,
+              Sequent.verdict_to_string rep.Dispatch.verdict ))
+          m.Jahob_core.Jahob.obligations.Dispatch.reports ))
+    r.Jahob_core.Jahob.methods
+
+(* extract the same signature from a daemon JSONL response, so the warm
+   arm is measured through the real wire format, parse and all *)
+let daemon_sig_of_response (line : string) : daemon_sig =
+  let module J = Trace.Json in
+  let v = J.parse line in
+  (match J.member "error" v with
+  | Some (J.Str e) -> failwith ("daemon error response: " ^ e)
+  | _ -> ());
+  match J.member "methods" v with
+  | Some (J.Arr ms) ->
+    List.map
+      (fun m ->
+        let str k =
+          match J.member k m with
+          | Some (J.Str s) -> s
+          | _ -> failwith ("daemon response missing " ^ k)
+        in
+        let obligations =
+          match J.member "obligations" m with
+          | Some (J.Arr os) ->
+            List.map
+              (fun o ->
+                match (J.member "name" o, J.member "detail" o) with
+                | Some (J.Str n), Some (J.Str d) -> (n, d)
+                | _ -> failwith "daemon obligation missing name/detail")
+              os
+          | _ -> failwith "daemon response missing obligations"
+        in
+        (str "method", obligations))
+      ms
+  | _ -> failwith "daemon response missing methods"
+
+let daemon_verify_line id files =
+  Daemon.Proto.line
+    [ Daemon.Proto.fld_int "id" id;
+      Daemon.Proto.fld_str "cmd" "verify";
+      Daemon.Proto.fld_arr "files"
+        (List.map
+           (fun f b -> Daemon.Proto.J.str b (examples_dir ^ "/" ^ f))
+           files) ]
+
+(* replay the whole suite through one server; returns signatures + time *)
+let daemon_replay (server : Daemon.Server.t) : daemon_sig list * float =
+  let t0 = Clock.now () in
+  let sigs =
+    List.mapi
+      (fun i files ->
+        let resp, _ = Daemon.Server.handle server (daemon_verify_line i files) in
+        daemon_sig_of_response resp)
+      daemon_suite
+  in
+  (sigs, Clock.now () -. t0)
+
+let daemon_bench () =
+  header "DAEMON: warm daemon replay vs cold CLI runs";
+  Printf.printf
+    "a resident daemon keeps the verdict cache, scheduler EMAs and the\n\
+    \  hash-consing store warm across requests and backs the cache with a\n\
+    \  persistent on-disk store.  This replays the fully-verified example\n\
+    \  groups as cold CLI runs (fresh engine, cleared memo tables per\n\
+    \  group) vs warm requests against one in-process server, through the\n\
+    \  real JSONL protocol, and fails unless the warm replay is >=%.0fx\n\
+    \  faster with identical verdicts — including after a daemon restart\n\
+    \  that re-serves from disk.\n"
+    daemon_speedup_floor;
+  let store_path =
+    Filename.temp_file "jahob_bench_daemon" ".jstore"
+  in
+  Sys.remove store_path;
+  (* -- cold arm: one fresh CLI-style run per group, memos dropped so
+        each run honestly pays the cold start -- *)
+  let cold_run () =
+    List.map
+      (fun files ->
+        Form.clear_memos ();
+        let report, dt =
+          time_it (fun () ->
+              Jahob_core.Jahob.verify_files ~opts:(bench_opts ())
+                (List.map (fun f -> examples_dir ^ "/" ^ f) files))
+        in
+        (daemon_sig_of_report report, dt))
+      daemon_suite
+  in
+  ignore (cold_run ());
+  (* warm up the OS caches *)
+  let cold = cold_run () in
+  let cold_sigs = List.map fst cold in
+  let cold_s = List.fold_left (fun acc (_, dt) -> acc +. dt) 0. cold in
+  Printf.printf "  cold CLI:       %d groups in %6.2fs\n%!"
+    (List.length daemon_suite) cold_s;
+  (* -- warm arm: one resident server; the first pass populates, the
+        replays measure warmth -- *)
+  Form.clear_memos ();
+  let cfg =
+    { (Daemon.Server.default_config ()) with
+      Daemon.Server.opts = bench_opts ();
+      store_path = Some store_path;
+      log = ignore }
+  in
+  let server = Daemon.Server.create cfg in
+  let populate_sigs, populate_s = daemon_replay server in
+  Printf.printf "  daemon pass 1:  populate in %6.2fs\n%!" populate_s;
+  let replays =
+    List.init daemon_replays (fun _ -> daemon_replay server)
+  in
+  let warm_s =
+    List.fold_left (fun b (_, dt) -> Float.min b dt) infinity replays
+  in
+  List.iteri
+    (fun i (_, dt) -> Printf.printf "  daemon replay %d: %8.3fs\n%!" (i + 1) dt)
+    replays;
+  let warm_sigs = fst (List.hd replays) in
+  let warm_identical =
+    List.for_all (fun (s, _) -> s = cold_sigs) replays
+    && populate_sigs = cold_sigs
+  in
+  (* -- restart: a second server must re-serve identical verdicts from
+        the on-disk store left by the first -- *)
+  Daemon.Server.shutdown server;
+  Form.clear_memos ();
+  let server2 = Daemon.Server.create cfg in
+  let restart_warm =
+    match Option.map Daemon.Store.status (Daemon.Server.store server2) with
+    | Some (Daemon.Store.Warm _) -> true
+    | _ -> false
+  in
+  let restart_sigs, restart_s = daemon_replay server2 in
+  let store_entries =
+    match Daemon.Server.store server2 with
+    | Some s -> Daemon.Store.entries s
+    | None -> 0
+  in
+  Daemon.Server.shutdown server2;
+  (try Sys.remove store_path with Sys_error _ -> ());
+  let restart_identical = restart_sigs = cold_sigs in
+  let speedup = cold_s /. warm_s in
+  Printf.printf
+    "  restart:        %8.3fs from disk (store warm: %b, %d entries)\n%!"
+    restart_s restart_warm store_entries;
+  Printf.printf
+    "  verdicts identical: warm %b, after restart %b\n%!" warm_identical
+    restart_identical;
+  Printf.printf "  speedup: cold %.2fs / warm %.3fs = %.1fx  (floor %.0fx)\n%!"
+    cold_s warm_s speedup daemon_speedup_floor;
+  (* obligation counts for the driver record, from the cold signatures *)
+  List.iter
+    (List.iter (fun (_, obls) ->
+         List.iter
+           (fun (_, d) ->
+             incr acc_total;
+             if d = "valid" then incr acc_valid
+             else if String.length d >= 7 && String.sub d 0 7 = "invalid" then
+               incr acc_invalid
+             else incr acc_unknown)
+           obls))
+    cold_sigs;
+  let json =
+    Printf.sprintf
+      "{\"suite_groups\":%d,\"replays\":%d,\"cold_s\":%.4f,\
+       \"populate_s\":%.4f,\"warm_s\":%.4f,\"restart_s\":%.4f,\
+       \"speedup\":%.2f,\"floor\":%.1f,\"verdicts_identical\":%b,\
+       \"restart_identical\":%b,\"restart_store_warm\":%b,\
+       \"store_entries\":%d,\"jobs\":%d,\"timestamp\":\"%s\"}"
+      (List.length daemon_suite)
+      daemon_replays cold_s populate_s warm_s restart_s speedup
+      daemon_speedup_floor warm_identical restart_identical restart_warm
+      store_entries !bench_jobs (iso8601_now ())
+  in
+  let oc = open_out "BENCH_daemon.json" in
+  Printf.fprintf oc "%s\n" json;
+  close_out oc;
+  Printf.printf "  wrote BENCH_daemon.json\n%!";
+  note_json "daemon" json;
+  ignore warm_sigs;
+  if not warm_identical then
+    failwith "warm daemon verdicts differ from cold CLI verdicts";
+  if not restart_identical then
+    failwith "daemon restart served different verdicts from the store";
+  if not restart_warm then
+    failwith "daemon restart did not warm-start from the on-disk store";
+  if speedup < daemon_speedup_floor then
+    failwith
+      (Printf.sprintf "warm replay speedup %.2fx below the %.1fx floor"
+         speedup daemon_speedup_floor)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1147,6 +1370,7 @@ let experiments =
     ("trace_overhead", trace_overhead);
     ("hashcons", hashcons_bench);
     ("sched", sched_bench);
+    ("daemon", daemon_bench);
     ("micro", micro);
     ("scaling", scaling);
   ]

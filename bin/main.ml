@@ -70,6 +70,28 @@ let no_cache_arg =
        & info [ "no-cache" ]
            ~doc:"Disable the verdict cache (re-prove repeated obligations)")
 
+let cache_cap_arg =
+  Arg.(value & opt int 0
+       & info [ "cache-cap" ] ~docv:"N"
+           ~doc:"Cap the verdict cache at $(docv) entries, evicting the \
+                 least recently used at batch boundaries; 0 (the default) \
+                 keeps the generous built-in cap")
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"PATH"
+           ~doc:"Persistent verdict store: preload the cache from $(docv) \
+                 before verifying and write newly settled verdicts back \
+                 (atomic temp-then-rename; a store written under a \
+                 different digest scheme is refused with a logged cold \
+                 start)")
+
+let store_cap_arg =
+  Arg.(value & opt int 0
+       & info [ "store-cap" ] ~docv:"N"
+           ~doc:"Cap the on-disk store at $(docv) entries (LRU-evicted at \
+                 save time); 0 keeps the default cap")
+
 let budget_arg =
   Arg.(value & opt (some float) None
        & info [ "budget" ] ~docv:"SECONDS"
@@ -123,19 +145,47 @@ let trace_format_arg =
                  $(b,chrome) (a chrome://tracing / Perfetto-loadable JSON \
                  array)")
 
+let make_options ~no_inference ~provers ~jobs ~no_cache ~cache_cap ~budget
+    ~no_hashcons ~sched ~race : Jahob_core.Jahob.options =
+  { Jahob_core.Jahob.provers = select_provers provers;
+    infer_loop_invariants = not no_inference;
+    jobs;
+    use_cache = not no_cache;
+    cache_cap;
+    budget_s = budget;
+    use_hashcons = not no_hashcons;
+    sched;
+    race }
+
+(* verify through a resident engine with the cache preloaded from the
+   persistent store, then drain fresh verdicts back and sync to disk *)
+let verify_with_store (opts : Jahob_core.Jahob.options) ~(store : string)
+    ~(store_cap : int) (files : string list) : Jahob_core.Jahob.program_report =
+  let s =
+    if store_cap > 0 then Daemon.Store.load ~cap:store_cap store
+    else Daemon.Store.load store
+  in
+  let e = Jahob_core.Jahob.create_engine opts in
+  Fun.protect
+    ~finally:(fun () -> Jahob_core.Jahob.shutdown_engine e)
+    (fun () ->
+      Option.iter
+        (fun c -> Dispatch.Cache.preload c (Daemon.Store.to_preload s))
+        (Jahob_core.Jahob.engine_cache e);
+      let report = Jahob_core.Jahob.verify_files_with e files in
+      Option.iter
+        (fun c -> ignore (Daemon.Store.absorb_cache s c))
+        (Jahob_core.Jahob.engine_cache e);
+      Daemon.Store.sync s;
+      report)
+
 let verify_cmd =
-  let run files no_inference provers stats jobs no_cache budget no_hashcons
-      sched race trace_file trace_format =
+  let run files no_inference provers stats jobs no_cache cache_cap budget
+      no_hashcons sched race store store_cap trace_file trace_format =
     with_frontend_errors (fun () ->
         let opts =
-          { Jahob_core.Jahob.provers = select_provers provers;
-            infer_loop_invariants = not no_inference;
-            jobs;
-            use_cache = not no_cache;
-            budget_s = budget;
-            use_hashcons = not no_hashcons;
-            sched;
-            race }
+          make_options ~no_inference ~provers ~jobs ~no_cache ~cache_cap
+            ~budget ~no_hashcons ~sched ~race
         in
         (* aggregate counters feed --stats; the sink feeds --trace *)
         if stats || trace_file <> None then Trace.start_collecting ();
@@ -143,7 +193,12 @@ let verify_cmd =
           (fun f -> Trace.open_sink ~format:trace_format f)
           trace_file;
         let finish () = Trace.stop () in
-        match Jahob_core.Jahob.verify_files ~opts files with
+        let verify () =
+          match store with
+          | None -> Jahob_core.Jahob.verify_files ~opts files
+          | Some path -> verify_with_store opts ~store:path ~store_cap files
+        in
+        match verify () with
         | report ->
           finish ();
           Format.printf "%a" (Jahob_core.Jahob.pp_report ~stats) report;
@@ -155,8 +210,61 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc:"Verify all annotated methods")
     Term.(const run $ files_arg $ no_inference_arg $ provers_arg $ stats_arg
-          $ jobs_arg $ no_cache_arg $ budget_arg $ no_hashcons_arg
-          $ sched_arg $ race_arg $ trace_arg $ trace_format_arg)
+          $ jobs_arg $ no_cache_arg $ cache_cap_arg $ budget_arg
+          $ no_hashcons_arg $ sched_arg $ race_arg $ store_arg $ store_cap_arg
+          $ trace_arg $ trace_format_arg)
+
+let serve_cmd =
+  let stdio_flag =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve JSONL requests on stdin/stdout until EOF (what \
+                   tests and editor integrations use)")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen for JSONL connections on a Unix domain socket at \
+                   $(docv); connections are served one at a time, each \
+                   request fanning out on the resident worker pool")
+  in
+  let run stdio socket no_inference provers jobs no_cache cache_cap budget
+      no_hashcons sched race store store_cap =
+    with_frontend_errors (fun () ->
+        let opts =
+          make_options ~no_inference ~provers ~jobs ~no_cache ~cache_cap
+            ~budget ~no_hashcons ~sched ~race
+        in
+        let cfg =
+          { (Daemon.Server.default_config ()) with
+            Daemon.Server.opts;
+            store_path = store;
+            store_cap }
+        in
+        match (stdio, socket) with
+        | true, Some _ ->
+          Format.eprintf "serve: --stdio and --socket are exclusive@.";
+          2
+        | true, None ->
+          Daemon.Server.serve_stdio (Daemon.Server.create cfg);
+          0
+        | false, Some path ->
+          Daemon.Server.serve_unix (Daemon.Server.create cfg) path;
+          0
+        | false, None ->
+          Format.eprintf "serve: need --stdio or --socket PATH@.";
+          2)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident verification daemon: JSONL requests over a \
+             Unix socket or stdio, answered from a warm engine (worker \
+             pool, verdict cache, scheduler EMAs, hash-consing store) \
+             optionally backed by a persistent on-disk verdict store")
+    Term.(const run $ stdio_flag $ socket_arg $ no_inference_arg
+          $ provers_arg $ jobs_arg $ no_cache_arg $ cache_cap_arg
+          $ budget_arg $ no_hashcons_arg $ sched_arg $ race_arg $ store_arg
+          $ store_cap_arg)
 
 let vc_cmd =
   let run files =
@@ -386,6 +494,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "jahob" ~version:"0.1"
        ~doc:"Modular verification of data structure consistency")
-    [ verify_cmd; vc_cmd; parse_cmd; prove_cmd; trace_check_cmd; fuzz_cmd ]
+    [ verify_cmd; serve_cmd; vc_cmd; parse_cmd; prove_cmd; trace_check_cmd;
+      fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

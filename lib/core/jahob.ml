@@ -43,6 +43,7 @@ type options = {
   infer_loop_invariants : bool; (* use symbolic shape analysis *)
   jobs : int; (* worker domains; 1 = sequential *)
   use_cache : bool; (* memoize verdicts of repeated obligations *)
+  cache_cap : int; (* verdict-cache entry cap; 0 = the generous default *)
   budget_s : float option; (* wall-clock budget per prover call *)
   use_hashcons : bool; (* the hash-consed formula kernel; off = plain *)
   sched : Dispatch.Sched.policy; (* fixed cascade or adaptive routing *)
@@ -51,8 +52,8 @@ type options = {
 
 let default_options () =
   { provers = default_provers (); infer_loop_invariants = true;
-    jobs = 1; use_cache = true; budget_s = None; use_hashcons = true;
-    sched = Dispatch.Sched.Adaptive; race = 1 }
+    jobs = 1; use_cache = true; cache_cap = 0; budget_s = None;
+    use_hashcons = true; sched = Dispatch.Sched.Adaptive; race = 1 }
 
 (* a ceiling on worker domains: beyond any real core count, more domains
    only add stop-the-world GC synchronization cost *)
@@ -75,17 +76,45 @@ let shape_provers (opts : options) : Logic.Sequent.prover list =
       p.Logic.Sequent.prover_name = "smt" || p.Logic.Sequent.prover_name = "fol")
     opts.provers
 
-let vcgen_options ?(drop = []) (opts : options)
+let vcgen_options ?(drop = []) ?cache ?memo (opts : options)
     (task : Gcl.Desugar.method_task) : Vcgen.options =
   if opts.infer_loop_invariants then
     { Vcgen.infer_invariant =
-        Shape.infer_with_seeds ~drop (shape_provers opts)
+        Shape.infer_with_seeds ~drop ?cache ?memo (shape_provers opts)
           task.Gcl.Desugar.task_seeds }
   else Vcgen.default_options
 
-(** Verify every method of a parsed program. *)
-let verify_program ?(opts = default_options ()) (prog : Ast.program) :
-    program_report =
+(* ------------------------------------------------------------------ *)
+(* The resident engine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Everything that should stay warm across verification requests: the
+    worker pool, the verdict cache, the adaptive scheduler's EMAs and
+    the per-prover statistics (all owned by the one dispatcher).  A
+    one-shot [verify_files] builds a throwaway engine; [jahob serve]
+    builds one at startup and answers every request from it. *)
+type engine = {
+  eng_opts : options;
+  eng_pool : Dispatch.Pool.t option;
+  eng_cache : Dispatch.Cache.t option;
+  eng_dispatcher : Dispatch.t;
+  eng_shape_memo : Shape.memo;
+      (* candidate-check outcomes; unlike the verdict cache it may keep
+         Unknown-derived failures, because Houdini's result is
+         re-verified by the VC pass either way *)
+  eng_drop_memo : (string, Logic.Form.t list) Hashtbl.t;
+  eng_drop_lock : Mutex.t;
+      (* converged counterexample-driven drop lists per method, keyed by
+         the digests of the method's round-0 obligations.  A resident
+         engine re-verifying an unchanged method would otherwise re-prove
+         the doomed inferred conjuncts (their verdicts are Unknown, which
+         the verdict cache rightly refuses to keep) on every request just
+         to re-discover the same drops.  Only fixpoints are memoized, so
+         a warm replay jumps straight to the round the cold run converged
+         to and proves the exact same obligation set. *)
+}
+
+let create_engine (opts : options) : engine =
   (* the kernel switch is global (memo wrappers consult it on each call),
      so flipping it here covers the whole pipeline, worker domains
      included *)
@@ -96,7 +125,12 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
   let jobs = effective_jobs opts.jobs in
   let pool = if jobs > 1 then Some (Dispatch.Pool.create ~jobs) else None in
   let cache =
-    if opts.use_cache then Some (Dispatch.Cache.create ()) else None
+    if opts.use_cache then
+      Some
+        (if opts.cache_cap > 0 then
+           Dispatch.Cache.create ~cap:opts.cache_cap ()
+         else Dispatch.Cache.create ())
+    else None
   in
   let dispatcher =
     Dispatch.create ?pool ?cache ?budget_s:opts.budget_s
@@ -105,6 +139,52 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
            ~admits:(default_admissions ()) ())
       opts.provers
   in
+  { eng_opts = opts; eng_pool = pool; eng_cache = cache;
+    eng_dispatcher = dispatcher; eng_shape_memo = Shape.create_memo ();
+    eng_drop_memo = Hashtbl.create 32; eng_drop_lock = Mutex.create () }
+
+(* identity of a method for the drop memo: its name plus the digests of
+   its round-0 obligations (canonical, so stable across requests even
+   though desugaring re-mints fresh constants) *)
+let drop_key (task : Gcl.Desugar.method_task)
+    (obligations : Logic.Sequent.t list) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf task.Gcl.Desugar.task_name;
+  List.iter
+    (fun sq ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Logic.Sequent.digest sq))
+    obligations;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let drop_memo_find (e : engine) (k : string) : Logic.Form.t list option =
+  Mutex.lock e.eng_drop_lock;
+  let r = Hashtbl.find_opt e.eng_drop_memo k in
+  Mutex.unlock e.eng_drop_lock;
+  r
+
+let drop_memo_add (e : engine) (k : string) (v : Logic.Form.t list) : unit =
+  Mutex.lock e.eng_drop_lock;
+  (if not (Hashtbl.mem e.eng_drop_memo k) then Hashtbl.replace e.eng_drop_memo k v);
+  Mutex.unlock e.eng_drop_lock
+
+let engine_cache (e : engine) : Dispatch.Cache.t option = e.eng_cache
+let engine_dispatcher (e : engine) : Dispatch.t = e.eng_dispatcher
+
+let shutdown_engine (e : engine) : unit =
+  Option.iter Dispatch.Pool.shutdown e.eng_pool
+
+(** Verify every method of a parsed program on a resident engine.  One
+    request batch: opens a cache recency epoch on entry and trims the
+    cache back under its cap on exit (both no-ops mid-batch, so a
+    one-shot run behaves exactly as before). *)
+let verify_program_with (e : engine) (prog : Ast.program) : program_report =
+  let opts = e.eng_opts in
+  Logic.Hashcons.set_enabled opts.use_hashcons;
+  Option.iter Dispatch.Cache.new_epoch e.eng_cache;
+  let pool = e.eng_pool in
+  let cache = e.eng_cache in
+  let dispatcher = e.eng_dispatcher in
   let tasks =
     Trace.with_span ~cat:"frontend" "desugar" (fun () ->
         Gcl.Desugar.program_tasks prog)
@@ -113,17 +193,32 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
     (* counterexample-driven weakening: inferred invariant conjuncts that
        fail their initiation or preservation check are dropped and the
        method is retried (the speculative-engine loop of Section 2.4) *)
-    let rec attempt round (drop : Logic.Form.t list) =
+    let rec attempt round key (drop : Logic.Form.t list) =
       Trace.with_span ~cat:"verify"
         ~args:(fun () ->
           [ ("method", Trace.S task.Gcl.Desugar.task_name);
             ("round", Trace.I round);
             ("dropped", Trace.I (List.length drop)) ])
         "round"
-        (fun () -> attempt_once round drop)
-    and attempt_once round (drop : Logic.Form.t list) =
-      let vopts = vcgen_options ~drop opts task in
+        (fun () -> attempt_once round key drop)
+    and attempt_once round key (drop : Logic.Form.t list) =
+      let vopts =
+        vcgen_options ~drop ?cache ~memo:e.eng_shape_memo opts task
+      in
       let obligations = Vcgen.method_obligations ~opts:vopts task in
+      let key =
+        if round = 0 then Some (drop_key task obligations) else key
+      in
+      match
+        if round = 0 then Option.bind key (drop_memo_find e) else None
+      with
+      | Some drops ->
+        (* a previous request converged on this exact method: skip
+           straight to the fixpoint round instead of re-proving the
+           doomed conjuncts (whose Unknown verdicts are never cached) *)
+        Trace.incr "jahob.drop_memo_hit";
+        attempt 1 key drops
+      | None ->
       let reports = Dispatch.prove_all dispatcher obligations in
       let summary = Dispatch.summarize reports in
       (* a failing inferred conjunct announces itself in its label as
@@ -162,11 +257,19 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
           (fun g -> not (List.exists (Logic.Form.equal g) drop))
           failed_inferred
       in
-      if new_drops <> [] && round < 3 then attempt (round + 1) (drop @ new_drops)
-      else summary
+      if new_drops <> [] && round < 3 then
+        attempt (round + 1) key (drop @ new_drops)
+      else begin
+        (* memoize only fixpoints reached after actual weakening: a
+           replay then provably reproduces this very round, while a
+           round-limit abort keeps replaying the full loop unchanged *)
+        (if new_drops = [] && drop <> [] then
+           Option.iter (fun k -> drop_memo_add e k drop) key);
+        summary
+      end
     in
     { method_name = task.Gcl.Desugar.task_name;
-      obligations = attempt 0 [] }
+      obligations = attempt 0 None [] }
   in
   let verify_task task =
     Trace.with_span ~cat:"verify"
@@ -175,7 +278,7 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
       (fun () -> verify_task task)
   in
   let methods = Dispatch.Pool.map_opt pool verify_task tasks in
-  Option.iter Dispatch.Pool.shutdown pool;
+  Option.iter (fun c -> ignore (Dispatch.Cache.trim c)) e.eng_cache;
   let ok =
     List.for_all
       (fun m ->
@@ -183,6 +286,29 @@ let verify_program ?(opts = default_options ()) (prog : Ast.program) :
       methods
   in
   { methods; ok; dispatcher }
+
+(** Verify every method of a parsed program (one-shot: builds an engine,
+    verifies, releases the pool). *)
+let verify_program ?(opts = default_options ()) (prog : Ast.program) :
+    program_report =
+  let e = create_engine opts in
+  Fun.protect
+    ~finally:(fun () -> shutdown_engine e)
+    (fun () -> verify_program_with e prog)
+
+(** Parse and verify files on a resident engine (the daemon's request
+    handler). *)
+let verify_files_with (e : engine) (paths : string list) : program_report =
+  let prog =
+    Trace.with_span ~cat:"frontend"
+      ~args:(fun () -> [ ("files", Trace.I (List.length paths)) ])
+      "parse"
+      (fun () ->
+        List.concat_map
+          (fun p -> Javaparser.Jparser.parse_program_file p)
+          paths)
+  in
+  verify_program_with e prog
 
 (** Parse and verify one or more source files as a single program. *)
 let verify_files ?(opts = default_options ()) (paths : string list) :

@@ -36,6 +36,10 @@ type options = {
       (** worker domains for parallel dispatch; 1 verifies sequentially *)
   use_cache : bool;
       (** memoize verdicts of repeated (canonicalized) obligations *)
+  cache_cap : int;
+      (** verdict-cache entry cap (LRU-evicted at batch boundaries past
+          it); [0] keeps the generous {!Dispatch.Cache.default_cap} —
+          the knob behind [jahob verify --cache-cap] *)
   budget_s : float option;
       (** wall-clock budget per prover call; [None] leaves provers
           unbounded *)
@@ -56,6 +60,34 @@ type options = {
 }
 
 val default_options : unit -> options
+
+(** Everything that should stay warm across verification requests: the
+    worker pool, the verdict cache, the adaptive scheduler's EMAs and the
+    per-prover statistics.  A one-shot {!verify_files} builds a throwaway
+    engine; [jahob serve] builds one at startup and answers every request
+    from it (the hash-consing store is process-global, so it stays warm
+    for free). *)
+type engine
+
+val create_engine : options -> engine
+
+(** The engine's verdict cache, when caching is enabled — what a
+    persistent store preloads and drains. *)
+val engine_cache : engine -> Dispatch.Cache.t option
+
+val engine_dispatcher : engine -> Dispatch.t
+
+(** Release the engine's worker pool.  The engine must not be used
+    afterwards. *)
+val shutdown_engine : engine -> unit
+
+(** Verify on a resident engine.  Each call is one cache batch: a new
+    recency epoch on entry, an LRU trim back under the cap on exit. *)
+val verify_program_with : engine -> Javaparser.Ast.program -> program_report
+
+(** Parse and verify files on a resident engine (the daemon's request
+    handler). *)
+val verify_files_with : engine -> string list -> program_report
 
 val verify_program :
   ?opts:options -> Javaparser.Ast.program -> program_report

@@ -22,7 +22,7 @@
 exception Expired
 
 type t = {
-  deadline : float; (* absolute, [Unix.gettimeofday] basis; [infinity] = none *)
+  deadline : float; (* absolute, monotonic [Clock.now] basis; [infinity] = none *)
   cancelled : bool Atomic.t;
   parent : t option;
   checkpoints : int Atomic.t; (* polls observed under this token *)
@@ -33,7 +33,7 @@ let make ?deadline_in ?parent () : t =
   let deadline =
     match deadline_in with
     | None -> infinity
-    | Some d -> Unix.gettimeofday () +. d
+    | Some d -> Clock.now () +. d
   in
   { deadline;
     cancelled = Atomic.make false;
@@ -120,7 +120,7 @@ let probe (t : t) : bool =
     else begin
       let s = Atomic.fetch_and_add t.skew 1 in
       if s mod clock_stride <> 0 then false
-      else Unix.gettimeofday () >= h
+      else Clock.now () >= h
     end
   end
 
@@ -138,4 +138,4 @@ let check () : unit =
 let expired (t : t) : bool =
   cancel_requested t
   || (let h = horizon t in
-      h < infinity && Unix.gettimeofday () >= h)
+      h < infinity && Clock.now () >= h)

@@ -41,8 +41,13 @@ type entry = {
   prover : string option; (* which prover settled it, for reports *)
 }
 
+type slot = {
+  entry : entry;
+  mutable used : int; (* epoch of the last resolution touching this key *)
+}
+
 type state =
-  | Done of entry
+  | Done of slot
   | Inflight (* some domain holds the claim and is proving *)
 
 type shard = {
@@ -52,11 +57,21 @@ type shard = {
   mutable hits : int;
   mutable misses : int;
   mutable waits : int; (* lookups that blocked on an in-flight claim *)
+  mutable evicted : int; (* settled entries dropped by [trim] *)
 }
 
-type t = { shards : shard array; mask : int }
+type t = {
+  shards : shard array;
+  mask : int;
+  epoch : int Atomic.t; (* batch counter; moves only between batches *)
+  shard_cap : int; (* settled entries a shard may keep across batches *)
+}
 
 let shard_count = 64
+
+(* the default total cap: generous enough that a CLI run never trims,
+   small enough that a daemon's residency is bounded (~tens of MB) *)
+let default_cap = 262_144
 
 (* contended lock acquisitions across every cache in the process: the
    scaling bench's attribution evidence.  Only the slow path pays the
@@ -74,7 +89,10 @@ type lock_stats = { contended_acquisitions : int }
 let lock_stats () = { contended_acquisitions = Atomic.get contended }
 let reset_lock_stats () = Atomic.set contended 0
 
-let create () : t =
+(** [create ?cap ()] — [cap] bounds the settled entries kept across
+    batch boundaries (split evenly over the shards, so the bound is
+    enforced per shard; [cap <= 0] means unbounded). *)
+let create ?(cap = default_cap) () : t =
   { shards =
       Array.init shard_count (fun _ ->
           { lock = Mutex.create ();
@@ -82,8 +100,13 @@ let create () : t =
             table = Hashtbl.create 16;
             hits = 0;
             misses = 0;
-            waits = 0 });
-    mask = shard_count - 1 }
+            waits = 0;
+            evicted = 0 });
+    mask = shard_count - 1;
+    epoch = Atomic.make 0;
+    shard_cap =
+      (if cap <= 0 then max_int
+       else max 1 ((cap + shard_count - 1) / shard_count)) }
 
 (** The cache key of a sequent (see {!Logic.Sequent.digest}). *)
 let key (s : Sequent.t) : string = Sequent.digest s
@@ -104,11 +127,12 @@ let acquire (c : t) (k : string) : claim =
   lock_shard sh;
   let rec resolve () =
     match Hashtbl.find_opt sh.table k with
-    | Some (Done e) ->
+    | Some (Done sl) ->
       sh.hits <- sh.hits + 1;
+      sl.used <- Atomic.get c.epoch;
       Mutex.unlock sh.lock;
       Trace.incr "cache.hit";
-      Hit e
+      Hit sl.entry
     | Some Inflight ->
       sh.waits <- sh.waits + 1;
       Trace.incr "cache.wait";
@@ -128,7 +152,7 @@ let acquire (c : t) (k : string) : claim =
 let publish (c : t) (k : string) (e : entry) : unit =
   let sh = shard_of c k in
   lock_shard sh;
-  Hashtbl.replace sh.table k (Done e);
+  Hashtbl.replace sh.table k (Done { entry = e; used = Atomic.get c.epoch });
   Condition.broadcast sh.settled;
   Mutex.unlock sh.lock
 
@@ -150,17 +174,104 @@ let peek (c : t) (k : string) : entry option =
   lock_shard sh;
   let r =
     match Hashtbl.find_opt sh.table k with
-    | Some (Done e) -> Some e
+    | Some (Done sl) -> Some sl.entry
     | Some Inflight | None -> None
   in
   Mutex.unlock sh.lock;
   r
+
+(* ------------------------------------------------------------------ *)
+(* Batch boundaries: epochs, trimming, persistence hooks               *)
+(* ------------------------------------------------------------------ *)
+
+(** Open a new recency epoch.  Call at a batch boundary (the start of a
+    daemon request or a [verify] run); entries resolved from now on are
+    stamped with the new epoch. *)
+let new_epoch (c : t) : unit = Atomic.incr c.epoch
+
+(** Evict settled entries past the per-shard cap, least-recently-used
+    epoch first (ties broken by key, so eviction is deterministic given
+    the batch sequence).  Must be called between batches — it assumes no
+    concurrent proving; [Inflight] claims are never evicted.  Returns
+    how many entries were dropped. *)
+let trim (c : t) : int =
+  let dropped = ref 0 in
+  Array.iter
+    (fun sh ->
+      lock_shard sh;
+      let settled_count =
+        Hashtbl.fold
+          (fun _ st n -> match st with Done _ -> n + 1 | Inflight -> n)
+          sh.table 0
+      in
+      let excess = settled_count - c.shard_cap in
+      if excess > 0 then begin
+        let victims =
+          Hashtbl.fold
+            (fun k st acc ->
+              match st with Done sl -> (sl.used, k) :: acc | Inflight -> acc)
+            sh.table []
+          |> List.sort compare
+        in
+        List.iteri
+          (fun i (_, k) ->
+            if i < excess then begin
+              Hashtbl.remove sh.table k;
+              sh.evicted <- sh.evicted + 1;
+              incr dropped
+            end)
+          victims
+      end;
+      Mutex.unlock sh.lock)
+    c.shards;
+  if !dropped > 0 then Trace.add "cache.evicted" !dropped;
+  !dropped
+
+(** Insert settled verdicts wholesale (a persistent store warming the
+    cache).  Existing entries and in-flight claims are left untouched;
+    preloaded entries are stamped with the current epoch. *)
+let preload (c : t) (kvs : (string * entry) list) : unit =
+  List.iter
+    (fun (k, e) ->
+      let sh = shard_of c k in
+      lock_shard sh;
+      (match Hashtbl.find_opt sh.table k with
+      | Some _ -> ()
+      | None ->
+        Hashtbl.replace sh.table k
+          (Done { entry = e; used = Atomic.get c.epoch }));
+      Mutex.unlock sh.lock)
+    kvs
+
+(** Fold over the settled entries in deterministic (key-sorted) order —
+    how a persistent store drains the cache after a batch.  Takes the
+    shard locks one at a time; call between batches. *)
+let fold_settled (c : t) (f : 'a -> string -> entry -> 'a) (init : 'a) : 'a =
+  let kvs =
+    Array.fold_left
+      (fun acc sh ->
+        lock_shard sh;
+        let acc =
+          Hashtbl.fold
+            (fun k st acc ->
+              match st with
+              | Done sl -> (k, sl.entry) :: acc
+              | Inflight -> acc)
+            sh.table acc
+        in
+        Mutex.unlock sh.lock;
+        acc)
+      [] c.shards
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.fold_left (fun acc (k, e) -> f acc k e) init kvs
 
 type counters = {
   hit_count : int;
   miss_count : int;
   wait_count : int;
   entries : int;
+  evicted_count : int;
 }
 
 let counters (c : t) : counters =
@@ -176,11 +287,13 @@ let counters (c : t) : counters =
         { hit_count = acc.hit_count + sh.hits;
           miss_count = acc.miss_count + sh.misses;
           wait_count = acc.wait_count + sh.waits;
-          entries = acc.entries + settled_entries }
+          entries = acc.entries + settled_entries;
+          evicted_count = acc.evicted_count + sh.evicted }
       in
       Mutex.unlock sh.lock;
       r)
-    { hit_count = 0; miss_count = 0; wait_count = 0; entries = 0 }
+    { hit_count = 0; miss_count = 0; wait_count = 0; entries = 0;
+      evicted_count = 0 }
     c.shards
 
 (** Hit rate over all lookups so far; 0 when nothing was looked up. *)

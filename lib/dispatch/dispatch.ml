@@ -222,7 +222,7 @@ let attempt (d : t) ~(signature : string) (s : Sequent.t)
     (p : Sequent.prover) : Sequent.verdict =
   let name = p.Sequent.prover_name in
   bump_stats d name (fun st -> st.attempts <- st.attempts + 1);
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let v =
     match p.Sequent.prove s with
     | v -> v
@@ -236,7 +236,7 @@ let attempt (d : t) ~(signature : string) (s : Sequent.t)
   | Sched.Fixed -> ()
   | Sched.Adaptive ->
     Sched.record d.sched ~signature ~prover:name
-      ~latency_s:(Unix.gettimeofday () -. t0) ~settled:(settled v));
+      ~latency_s:(Clock.now () -. t0) ~settled:(settled v));
   (match v with
   | Sequent.Valid -> bump_stats d name (fun st -> st.proved <- st.proved + 1)
   | Sequent.Invalid _ ->

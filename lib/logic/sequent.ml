@@ -36,13 +36,81 @@ let of_form ?(name = "goal") (f : Form.t) : t =
 (* Canonicalization and digests (verdict-cache keys)                   *)
 (* ------------------------------------------------------------------ *)
 
-(** Canonical form for caching: every hypothesis and the goal are
-    alpha-normalized (bound variables renamed by binding depth, sorts and
-    type annotations preserved), then the hypotheses are sorted and
-    deduplicated by their canonical printing.  Two sequents that differ
-    only in hypothesis order or bound-variable names canonicalize
-    identically. *)
+(* --- fresh-constant normalization -------------------------------- *)
+
+(* [Form.fresh_name] mints [base__N] from a process-global counter that
+   is never reset, so re-generating the same obligation later in the
+   same process (a daemon re-verifying a file, Houdini re-seeding a
+   loop) yields the same sequent up to the counter offset — and a
+   different digest, defeating the verdict cache exactly where a
+   resident server needs it.  Validity and refutability of a sequent
+   are invariant under injective renaming of its free variables (models
+   transport along the renaming), so the canonical form may renumber
+   fresh constants: each [base__N] becomes [base__k] with [k] assigned
+   per base in order of first occurrence (hypotheses in given order,
+   then the goal).  The mapping is injective — same base never shares a
+   [k], distinct bases never collide — and its image stays inside the
+   reserved [__] namespace no parser produces, so it cannot capture a
+   source-level identifier. *)
+
+(* [base] of a fresh-style name: everything before a final "__digits";
+   None for every name the renaming must not touch *)
+let fresh_base (n : string) : string option =
+  let len = String.length n in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec all_digits i = i >= len || (is_digit n.[i] && all_digits (i + 1)) in
+  let rec find j =
+    (* j = index of the first '_' of a candidate "__" *)
+    if j < 1 then None
+    else if
+      n.[j] = '_' && n.[j - 1] = '_' && j + 1 < len && all_digits (j + 1)
+    then Some (String.sub n 0 (j - 1))
+    else find (j - 1)
+  in
+  find (len - 2)
+
+(* the renaming map over every fresh-style free variable of the sequent,
+   in first-occurrence order; empty for fresh-free sequents *)
+let fresh_renaming (s : t) : Form.t Form.Smap.t =
+  let map = ref Form.Smap.empty in
+  let next : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let visit x =
+    if not (Form.Smap.mem x !map) then
+      match fresh_base x with
+      | None -> ()
+      | Some base ->
+        let k = (Option.value (Hashtbl.find_opt next base) ~default:0) + 1 in
+        Hashtbl.replace next base k;
+        let x' = Printf.sprintf "%s__%d" base k in
+        map := Form.Smap.add x (Form.Var x') !map
+  in
+  let rec go (f : Form.t) =
+    match f with
+    | Form.Var x -> visit x
+    | Form.Const _ -> ()
+    | Form.App (g, args) ->
+      go g;
+      List.iter go args
+    | Form.Binder (_, _, body) -> go body
+    | Form.TypedForm (g, _) -> go g
+  in
+  List.iter go s.hyps;
+  go s.goal;
+  (* identity entries would defeat [subst]'s sharing shortcuts *)
+  Form.Smap.filter
+    (fun x f -> match f with Form.Var y -> not (String.equal x y) | _ -> true)
+    !map
+
+(** Canonical form for caching: fresh constants ([base__N], minted by
+    {!Form.fresh_name}) are renumbered by first occurrence, every
+    hypothesis and the goal are alpha-normalized (bound variables renamed
+    by binding depth, sorts and type annotations preserved), then the
+    hypotheses are sorted and deduplicated by their canonical printing.
+    Two sequents that differ only in hypothesis order, bound-variable
+    names or the fresh-counter offset canonicalize identically. *)
 let canonicalize (s : t) : t =
+  let ren = fresh_renaming s in
+  let rename f = if Form.Smap.is_empty ren then f else Form.subst ren f in
   (* [alpha_normalize_shared] and [to_canonical_string] are memoized
      through the hash-consing kernel, so hypotheses shared across the
      obligations of one method (split_vc reuses them physically) are
@@ -50,7 +118,7 @@ let canonicalize (s : t) : t =
   let keyed =
     List.map
       (fun h ->
-        let h = Form.alpha_normalize_shared ~keep_types:true h in
+        let h = Form.alpha_normalize_shared ~keep_types:true (rename h) in
         (Pprint.to_canonical_string h, h))
       s.hyps
   in
@@ -59,7 +127,7 @@ let canonicalize (s : t) : t =
   in
   { s with
     hyps = List.map snd keyed;
-    goal = Form.alpha_normalize_shared ~keep_types:true s.goal }
+    goal = Form.alpha_normalize_shared ~keep_types:true (rename s.goal) }
 
 (** A stable key for the canonicalized sequent: the MD5 digest of its
     {e canonical} printing ({!Pprint.to_canonical_string} — the surface

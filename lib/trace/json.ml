@@ -3,9 +3,9 @@
     The tracer emits JSON; something in the tree must be able to read it
     back, or the golden tests and [jahob trace-check] would be trusting
     the writer to check itself.  This is a plain recursive-descent parser
-    over the full JSON grammar (RFC 8259) minus the parts the trace
-    format never produces: [\uXXXX] escapes are validated but decoded as
-    ['?'], and numbers are held as [float]. *)
+    over the full JSON grammar (RFC 8259): [\uXXXX] escapes are decoded
+    to UTF-8 (surrogate pairs combine into astral code points; lone
+    surrogates become U+FFFD), and numbers are held as [float]. *)
 
 type t =
   | Null
@@ -51,6 +51,31 @@ let literal st word value =
 
 let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false
 
+let hex_val = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> assert false
+
+(* UTF-8 encode one Unicode scalar value *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
 let parse_string st =
   expect st '"';
   let buf = Buffer.create 16 in
@@ -71,12 +96,44 @@ let parse_string st =
       | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
       | Some 'u' ->
         advance st;
-        for _ = 1 to 4 do
-          match peek st with
-          | Some c when is_hex c -> advance st
-          | _ -> fail st.pos "invalid \\u escape"
-        done;
-        Buffer.add_char buf '?';
+        let hex4 () =
+          let v = ref 0 in
+          for _ = 1 to 4 do
+            match peek st with
+            | Some c when is_hex c ->
+              advance st;
+              v := (!v lsl 4) lor hex_val c
+            | _ -> fail st.pos "invalid \\u escape"
+          done;
+          !v
+        in
+        let u = hex4 () in
+        (if u < 0xD800 || u > 0xDFFF then add_utf8 buf u
+         else if
+           (* a high surrogate followed by [\uDC00-\uDFFF] combines
+              into one astral code point *)
+           u <= 0xDBFF
+           && st.pos + 1 < String.length st.src
+           && st.src.[st.pos] = '\\'
+           && st.src.[st.pos + 1] = 'u'
+         then begin
+           advance st;
+           advance st;
+           let u2 = hex4 () in
+           if u2 >= 0xDC00 && u2 <= 0xDFFF then
+             add_utf8 buf
+               (0x10000 + ((u - 0xD800) lsl 10) + (u2 - 0xDC00))
+           else begin
+             (* the high surrogate was lone after all: U+FFFD for it,
+                then the second escape stands on its own *)
+             add_utf8 buf 0xFFFD;
+             if u2 >= 0xD800 && u2 <= 0xDFFF then add_utf8 buf 0xFFFD
+             else add_utf8 buf u2
+           end
+         end
+         else
+           (* lone surrogate: legal JSON, but names no scalar value *)
+           add_utf8 buf 0xFFFD);
         go ()
       | _ -> fail st.pos "invalid escape")
     | Some c when Char.code c < 0x20 -> fail st.pos "control character in string"

@@ -41,7 +41,7 @@ let enabled () = Atomic.get enabled_flag
    different runs are comparable and small enough to print compactly *)
 let epoch = Atomic.make 0.
 
-let now_s () = Unix.gettimeofday () -. Atomic.get epoch
+let now_s () = Clock.now () -. Atomic.get epoch
 
 (* ------------------------------------------------------------------ *)
 (* Per-domain accumulators                                             *)
@@ -306,7 +306,7 @@ let instant ?(cat = "") ?(args : (unit -> args) option) name : unit =
 
 (** Turn collection on (aggregates always; events once a sink is open). *)
 let start_collecting () : unit =
-  Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set epoch (Clock.now ());
   Atomic.set enabled_flag true
 
 (** Attach a file sink.  Call before or after {!start_collecting};
