@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI should run.
 
-.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench-scaling bench-daemon serve-smoke bench bench-json clean
+.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench-scaling bench-daemon bench-incremental serve-smoke bench bench-json clean
 
 all: build
 
@@ -28,13 +28,17 @@ check:
 	$(MAKE) bench-sched
 	$(MAKE) bench-scaling
 	$(MAKE) bench-daemon
+	$(MAKE) bench-incremental
 	$(MAKE) serve-smoke
 
 # a short fixed-seed differential fuzz of every fragment: any prover
-# disagreement (or prover-vs-oracle contradiction) exits non-zero
+# disagreement (or prover-vs-oracle contradiction) exits non-zero.
+# The --inc campaign mutates seed programs and requires incremental
+# re-verification to agree verdict-for-verdict with from-scratch runs
 fuzz-smoke:
 	dune exec -- jahob fuzz --seed 42 --count 40 --size 3
 	dune exec -- jahob fuzz --replay test/corpus
+	dune exec -- jahob fuzz --seed 42 --inc 120
 
 # ratio guard for the hash-consing kernel (mirrors trace_overhead): the
 # experiment itself fails unless the cache-key microbenchmark keeps a
@@ -66,6 +70,14 @@ bench-scaling:
 # that re-serves from the on-disk store; refreshes BENCH_daemon.json
 bench-daemon:
 	dune exec bench/main.exe -- daemon
+
+# guard for incremental re-verification: after a one-method body edit,
+# answering from the method/dependency index must beat re-verifying the
+# patched example groups from scratch by >=5x, with identical verdicts
+# and nothing re-verified beyond the edited method; refreshes
+# BENCH_incremental.json
+bench-incremental:
+	dune exec bench/main.exe -- incremental
 
 # one stdio round-trip through the real daemon: a prove request must
 # come back valid on the same line-oriented protocol the socket serves

@@ -1306,6 +1306,156 @@ let daemon_bench () =
          speedup daemon_speedup_floor)
 
 (* ------------------------------------------------------------------ *)
+(* INCREMENTAL: one-method patches against the method store            *)
+(* ------------------------------------------------------------------ *)
+
+(* the make-check guard: after a one-method edit, incremental
+   re-verification must beat re-verifying the group from scratch by at
+   least this factor, with identical verdicts *)
+let incremental_speedup_floor = 5.0
+
+(* the same fully-verified example groups the daemon bench replays —
+   full verification is what lets every method's verdicts be recorded *)
+let incremental_suite = daemon_suite
+
+(* the "edit": append a trivially-valid assertion to the body of the
+   first bodied method — a body-only change, so exactly one method may
+   be re-verified *)
+let inc_patch (prog : Javaparser.Ast.program) :
+    Javaparser.Ast.program * string =
+  let module Ast = Javaparser.Ast in
+  let extra = Ast.Spec (Ast.Assert_spec (None, Logic.Parser.parse "0 <= 0")) in
+  let patched = ref None in
+  let prog' =
+    List.map
+      (fun c ->
+        if !patched <> None then c
+        else
+          match
+            List.find_opt (fun m -> m.Ast.m_body <> None) c.Ast.c_methods
+          with
+          | None -> c
+          | Some victim ->
+            patched := Some (c.Ast.c_name ^ "." ^ victim.Ast.m_name);
+            { c with
+              Ast.c_methods =
+                List.map
+                  (fun m ->
+                    if m.Ast.m_name <> victim.Ast.m_name then m
+                    else
+                      { m with
+                        Ast.m_body =
+                          Option.map (fun ss -> ss @ [ extra ]) m.Ast.m_body })
+                  c.Ast.c_methods })
+      prog
+  in
+  match !patched with
+  | Some name -> (prog', name)
+  | None -> failwith "incremental bench: group has no bodied method"
+
+let incremental_bench () =
+  header "INCREMENTAL: one-method patch vs re-verifying from scratch";
+  Printf.printf
+    "each example group is verified into a method store, then one\n\
+    \  method body is edited.  Incremental re-verification re-proves that\n\
+    \  method alone and answers the rest from the store; the guard fails\n\
+    \  unless that beats a cold run of the patched group by >=%.0fx with\n\
+    \  identical verdicts, or if anything beyond the edited method is\n\
+    \  re-verified.  The verdict cache is off in both arms, so the ratio\n\
+    \  measures the method/dependency index alone.\n"
+    incremental_speedup_floor;
+  (* the verdict cache stays off so replayed verdicts come from the
+     method store, not from obligation-level memoization *)
+  let opts =
+    { (bench_opts ()) with Jahob_core.Jahob.use_cache = false }
+  in
+  let groups =
+    List.map
+      (fun files ->
+        let prog =
+          List.concat_map
+            (fun f -> Javaparser.Jparser.parse_program_file
+                        (examples_dir ^ "/" ^ f))
+            files
+        in
+        let patched, edited = inc_patch prog in
+        (String.concat "+" files, prog, patched, edited))
+      incremental_suite
+  in
+  let cold_s = ref 0. and inc_s = ref 0. in
+  let identical = ref true and exact = ref true in
+  List.iter
+    (fun (label, base, patched, edited) ->
+      (* cold arm: the patched program from scratch, memos dropped *)
+      Form.clear_memos ();
+      let cold_report, cold_dt =
+        time_it (fun () ->
+            Jahob_core.Jahob.verify_program ~opts patched)
+      in
+      (* incremental arm: populate with the base, drop the memos the
+         cold arm also lost, then time the patched run *)
+      let engine = Jahob_core.Jahob.create_engine opts in
+      let source = Jahob_core.Jahob.hashtbl_source () in
+      ignore (Jahob_core.Jahob.verify_program_inc engine ~source base);
+      Form.clear_memos ();
+      let inc_report, inc_dt =
+        time_it (fun () ->
+            Jahob_core.Jahob.verify_program_inc engine ~source patched)
+      in
+      Jahob_core.Jahob.shutdown_engine engine;
+      count_report cold_report;
+      let reverified =
+        List.filter_map
+          (fun (m : Jahob_core.Jahob.method_report) ->
+            match m.Jahob_core.Jahob.provenance with
+            | Jahob_core.Jahob.Unchanged -> None
+            | _ -> Some m.Jahob_core.Jahob.method_name)
+          inc_report.Jahob_core.Jahob.methods
+      in
+      if reverified <> [ edited ] then begin
+        exact := false;
+        Printf.printf "  %-40s OVER-INVALIDATION: re-verified %s\n%!" label
+          (String.concat ", " reverified)
+      end;
+      if daemon_sig_of_report cold_report <> daemon_sig_of_report inc_report
+      then begin
+        identical := false;
+        Printf.printf "  %-40s VERDICTS DIVERGE\n%!" label
+      end;
+      cold_s := !cold_s +. cold_dt;
+      inc_s := !inc_s +. inc_dt;
+      Printf.printf
+        "  %-40s cold %7.3fs  incremental %7.3fs  (edited %s)\n%!" label
+        cold_dt inc_dt edited)
+    groups;
+  let speedup = !cold_s /. !inc_s in
+  Printf.printf
+    "  speedup: cold %.2fs / incremental %.3fs = %.1fx  (floor %.0fx)\n%!"
+    !cold_s !inc_s speedup incremental_speedup_floor;
+  let json =
+    Printf.sprintf
+      "{\"suite_groups\":%d,\"cold_s\":%.4f,\"incremental_s\":%.4f,\
+       \"speedup\":%.2f,\"floor\":%.1f,\"verdicts_identical\":%b,\
+       \"exact_invalidation\":%b,\"jobs\":%d,\"timestamp\":\"%s\"}"
+      (List.length incremental_suite)
+      !cold_s !inc_s speedup incremental_speedup_floor !identical !exact
+      !bench_jobs (iso8601_now ())
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  Printf.fprintf oc "%s\n" json;
+  close_out oc;
+  Printf.printf "  wrote BENCH_incremental.json\n%!";
+  note_json "incremental" json;
+  if not !identical then
+    failwith "incremental verdicts differ from the from-scratch run";
+  if not !exact then
+    failwith "incremental run re-verified more than the edited method";
+  if speedup < incremental_speedup_floor then
+    failwith
+      (Printf.sprintf "incremental speedup %.2fx below the %.1fx floor"
+         speedup incremental_speedup_floor)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1371,6 +1521,7 @@ let experiments =
     ("hashcons", hashcons_bench);
     ("sched", sched_bench);
     ("daemon", daemon_bench);
+    ("incremental", incremental_bench);
     ("micro", micro);
     ("scaling", scaling);
   ]

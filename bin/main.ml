@@ -157,10 +157,32 @@ let make_options ~no_inference ~provers ~jobs ~no_cache ~cache_cap ~budget
     sched;
     race }
 
+let incremental_arg =
+  Arg.(value & flag
+       & info [ "incremental" ]
+           ~doc:"Re-verify only methods whose own structure or recorded \
+                 dependency digests changed; everything else is answered \
+                 from the method index and reported [unchanged].  Method \
+                 records live in the --store file when one is given \
+                 (surviving across runs), else in memory for this run")
+
+let since_arg =
+  Arg.(value & opt (some string) None
+       & info [ "since" ] ~docv:"BASE"
+           ~doc:"Verify $(docv) (comma-separated .java files) first as the \
+                 base version, then re-verify the given files \
+                 incrementally against it: each method is reported \
+                 [unchanged] or [re-verified] with its invalidation \
+                 reasons")
+
+let parse_files (files : string list) : Javaparser.Ast.program =
+  List.concat_map Javaparser.Jparser.parse_program_file files
+
 (* verify through a resident engine with the cache preloaded from the
    persistent store, then drain fresh verdicts back and sync to disk *)
 let verify_with_store (opts : Jahob_core.Jahob.options) ~(store : string)
-    ~(store_cap : int) (files : string list) : Jahob_core.Jahob.program_report =
+    ~(store_cap : int) ~(incremental : bool) (files : string list) :
+    Jahob_core.Jahob.program_report =
   let s =
     if store_cap > 0 then Daemon.Store.load ~cap:store_cap store
     else Daemon.Store.load store
@@ -172,16 +194,35 @@ let verify_with_store (opts : Jahob_core.Jahob.options) ~(store : string)
       Option.iter
         (fun c -> Dispatch.Cache.preload c (Daemon.Store.to_preload s))
         (Jahob_core.Jahob.engine_cache e);
-      let report = Jahob_core.Jahob.verify_files_with e files in
+      let report =
+        if incremental then
+          Jahob_core.Jahob.verify_program_inc e
+            ~source:(Daemon.Store.source s) (parse_files files)
+        else Jahob_core.Jahob.verify_files_with e files
+      in
       Option.iter
         (fun c -> ignore (Daemon.Store.absorb_cache s c))
         (Jahob_core.Jahob.engine_cache e);
       Daemon.Store.sync s;
       report)
 
+(* base+patch in one process: verify BASE cold (recording method
+   records), then the given files incrementally against them *)
+let verify_since (opts : Jahob_core.Jahob.options) ~(base : string list)
+    (files : string list) : Jahob_core.Jahob.program_report =
+  let source = Jahob_core.Jahob.hashtbl_source () in
+  let e = Jahob_core.Jahob.create_engine opts in
+  Fun.protect
+    ~finally:(fun () -> Jahob_core.Jahob.shutdown_engine e)
+    (fun () ->
+      ignore
+        (Jahob_core.Jahob.verify_program_inc e ~source (parse_files base));
+      Jahob_core.Jahob.verify_program_inc e ~source (parse_files files))
+
 let verify_cmd =
   let run files no_inference provers stats jobs no_cache cache_cap budget
-      no_hashcons sched race store store_cap trace_file trace_format =
+      no_hashcons sched race store store_cap incremental since trace_file
+      trace_format =
     with_frontend_errors (fun () ->
         let opts =
           make_options ~no_inference ~provers ~jobs ~no_cache ~cache_cap
@@ -194,9 +235,26 @@ let verify_cmd =
           trace_file;
         let finish () = Trace.stop () in
         let verify () =
-          match store with
-          | None -> Jahob_core.Jahob.verify_files ~opts files
-          | Some path -> verify_with_store opts ~store:path ~store_cap files
+          match (since, store) with
+          | Some base, _ ->
+            let base =
+              String.split_on_char ',' base |> List.map String.trim
+            in
+            verify_since opts ~base files
+          | None, Some path ->
+            verify_with_store opts ~store:path ~store_cap ~incremental files
+          | None, None ->
+            if incremental then
+              (* no store: in-memory records, so this run is cold — but
+                 the report still carries provenance per method *)
+              let source = Jahob_core.Jahob.hashtbl_source () in
+              let e = Jahob_core.Jahob.create_engine opts in
+              Fun.protect
+                ~finally:(fun () -> Jahob_core.Jahob.shutdown_engine e)
+                (fun () ->
+                  Jahob_core.Jahob.verify_program_inc e ~source
+                    (parse_files files))
+            else Jahob_core.Jahob.verify_files ~opts files
         in
         match verify () with
         | report ->
@@ -212,7 +270,7 @@ let verify_cmd =
     Term.(const run $ files_arg $ no_inference_arg $ provers_arg $ stats_arg
           $ jobs_arg $ no_cache_arg $ cache_cap_arg $ budget_arg
           $ no_hashcons_arg $ sched_arg $ race_arg $ store_arg $ store_cap_arg
-          $ trace_arg $ trace_format_arg)
+          $ incremental_arg $ since_arg $ trace_arg $ trace_format_arg)
 
 let serve_cmd =
   let stdio_flag =
@@ -425,8 +483,17 @@ let fuzz_cmd =
                    is flagged: reordering and fragment skipping must \
                    never change Valid/Invalid)")
   in
+  let inc_arg =
+    Arg.(value & opt int 0
+         & info [ "inc" ] ~docv:"N"
+             ~doc:"Instead of fuzzing provers, run $(docv) iterations of \
+                   the incremental-verification differential: mutate a \
+                   random method of a seed program and require the \
+                   incremental and from-scratch runs to agree verdict \
+                   for verdict")
+  in
   let run seed count size fragment budget corpus no_oracle max_universe
-      int_range max_models replay no_sched_check =
+      int_range max_models replay no_sched_check inc =
     let cfg =
       { Fuzz.Differ.seed;
         count;
@@ -439,6 +506,12 @@ let fuzz_cmd =
         check_sched = not no_sched_check;
       }
     in
+    if inc > 0 then begin
+      let r = Fuzz.Incmut.run { Fuzz.Incmut.seed; count = inc } in
+      Format.printf "%a@." Fuzz.Incmut.pp_report r;
+      if r.Fuzz.Incmut.divergences = [] then 0 else 1
+    end
+    else
     match replay with
     | Some dir ->
       let files = Fuzz.Differ.corpus_files dir in
@@ -488,7 +561,8 @@ let fuzz_cmd =
              finite-model oracle")
     Term.(const run $ seed_arg $ count_arg $ size_arg $ fragment_arg
           $ fuzz_budget_arg $ corpus_arg $ no_oracle_arg $ max_universe_arg
-          $ int_range_arg $ max_models_arg $ replay_arg $ no_sched_check_arg)
+          $ int_range_arg $ max_models_arg $ replay_arg $ no_sched_check_arg
+          $ inc_arg)
 
 let main_cmd =
   Cmd.group

@@ -7,9 +7,17 @@
 
 module Ast = Javaparser.Ast
 
+type provenance =
+  | Fresh (* cold verification: VCs generated and dispatched *)
+  | Unchanged (* incremental: answered entirely from the method store *)
+  | Invalidated of string list
+      (* incremental: re-verified, with the reasons — "new", "method",
+         "ctx", "options", or the dep keys whose digests changed *)
+
 type method_report = {
   method_name : string;
   obligations : Dispatch.summary;
+  provenance : provenance;
 }
 
 type program_report = {
@@ -17,6 +25,9 @@ type program_report = {
   ok : bool; (* every obligation of every method proved *)
   dispatcher : Dispatch.t; (* for per-prover statistics *)
 }
+
+let provenance_reasons (p : provenance) : string list =
+  match p with Fresh | Unchanged -> [] | Invalidated why -> why
 
 (** The default portfolio, in dispatch order: the cheap SMT core first,
     then BAPA for cardinality goals, the MONA-route for shape goals, and
@@ -178,114 +189,275 @@ let shutdown_engine (e : engine) : unit =
     request batch: opens a cache recency epoch on entry and trims the
     cache back under its cap on exit (both no-ops mid-batch, so a
     one-shot run behaves exactly as before). *)
+(* Verify one method task on the engine: the counterexample-driven
+   weakening loop — inferred invariant conjuncts that fail their own
+   initiation or preservation check are dropped and the method is retried
+   (the speculative-engine loop of Section 2.4).  Shared by the cold path
+   ([verify_program_with]) and the incremental path
+   ([verify_program_inc]). *)
+let verify_task_summary (e : engine) (task : Gcl.Desugar.method_task) :
+    Dispatch.summary =
+  let opts = e.eng_opts in
+  let cache = e.eng_cache in
+  let dispatcher = e.eng_dispatcher in
+  let rec attempt round key (drop : Logic.Form.t list) =
+    Trace.with_span ~cat:"verify"
+      ~args:(fun () ->
+        [ ("method", Trace.S task.Gcl.Desugar.task_name);
+          ("round", Trace.I round);
+          ("dropped", Trace.I (List.length drop)) ])
+      "round"
+      (fun () -> attempt_once round key drop)
+  and attempt_once round key (drop : Logic.Form.t list) =
+    let vopts =
+      vcgen_options ~drop ?cache ~memo:e.eng_shape_memo opts task
+    in
+    let obligations = Vcgen.method_obligations ~opts:vopts task in
+    let key =
+      if round = 0 then Some (drop_key task obligations) else key
+    in
+    match
+      if round = 0 then Option.bind key (drop_memo_find e) else None
+    with
+    | Some drops ->
+      (* a previous request converged on this exact method: skip
+         straight to the fixpoint round instead of re-proving the
+         doomed conjuncts (whose Unknown verdicts are never cached) *)
+      Trace.incr "jahob.drop_memo_hit";
+      attempt 1 key drops
+    | None ->
+    let reports = Dispatch.prove_all dispatcher obligations in
+    let summary = Dispatch.summarize reports in
+    (* a failing inferred conjunct announces itself in its label as
+       "loop invariant <stage> :: <formula>" *)
+    let failed_inferred =
+      List.filter_map
+        (fun (r : Dispatch.report) ->
+          match r.Dispatch.verdict with
+          | Logic.Sequent.Valid -> None
+          | _ ->
+            let name = r.Dispatch.sequent.Logic.Sequent.name in
+            let find_sub sub =
+              let n = String.length name and m = String.length sub in
+              let rec go i =
+                if i + m > n then None
+                else if String.sub name i m = sub then Some i
+                else go (i + 1)
+              in
+              go 0
+            in
+            if find_sub "loop invariant" = None then None
+            else
+              match find_sub " :: " with
+              | Some i when opts.infer_loop_invariants -> (
+                let text =
+                  String.sub name (i + 4) (String.length name - i - 4)
+                in
+                match Logic.Parser.parse_opt text with
+                | Some f -> Some f
+                | None -> None)
+              | _ -> None)
+        reports
+    in
+    let new_drops =
+      List.filter
+        (fun g -> not (List.exists (Logic.Form.equal g) drop))
+        failed_inferred
+    in
+    if new_drops <> [] && round < 3 then
+      attempt (round + 1) key (drop @ new_drops)
+    else begin
+      (* memoize only fixpoints reached after actual weakening: a
+         replay then provably reproduces this very round, while a
+         round-limit abort keeps replaying the full loop unchanged *)
+      (if new_drops = [] && drop <> [] then
+         Option.iter (fun k -> drop_memo_add e k drop) key);
+      summary
+    end
+  in
+  Trace.with_span ~cat:"verify"
+    ~args:(fun () -> [ ("method", Trace.S task.Gcl.Desugar.task_name) ])
+    "method"
+    (fun () -> attempt 0 None [])
+
+let report_ok (methods : method_report list) : bool =
+  List.for_all
+    (fun m -> m.obligations.Dispatch.valid = m.obligations.Dispatch.total)
+    methods
+
 let verify_program_with (e : engine) (prog : Ast.program) : program_report =
   let opts = e.eng_opts in
   Logic.Hashcons.set_enabled opts.use_hashcons;
   Option.iter Dispatch.Cache.new_epoch e.eng_cache;
-  let pool = e.eng_pool in
-  let cache = e.eng_cache in
-  let dispatcher = e.eng_dispatcher in
   let tasks =
     Trace.with_span ~cat:"frontend" "desugar" (fun () ->
         Gcl.Desugar.program_tasks prog)
   in
-  let verify_task (task : Gcl.Desugar.method_task) =
-    (* counterexample-driven weakening: inferred invariant conjuncts that
-       fail their initiation or preservation check are dropped and the
-       method is retried (the speculative-engine loop of Section 2.4) *)
-    let rec attempt round key (drop : Logic.Form.t list) =
-      Trace.with_span ~cat:"verify"
-        ~args:(fun () ->
-          [ ("method", Trace.S task.Gcl.Desugar.task_name);
-            ("round", Trace.I round);
-            ("dropped", Trace.I (List.length drop)) ])
-        "round"
-        (fun () -> attempt_once round key drop)
-    and attempt_once round key (drop : Logic.Form.t list) =
-      let vopts =
-        vcgen_options ~drop ?cache ~memo:e.eng_shape_memo opts task
-      in
-      let obligations = Vcgen.method_obligations ~opts:vopts task in
-      let key =
-        if round = 0 then Some (drop_key task obligations) else key
-      in
-      match
-        if round = 0 then Option.bind key (drop_memo_find e) else None
-      with
-      | Some drops ->
-        (* a previous request converged on this exact method: skip
-           straight to the fixpoint round instead of re-proving the
-           doomed conjuncts (whose Unknown verdicts are never cached) *)
-        Trace.incr "jahob.drop_memo_hit";
-        attempt 1 key drops
-      | None ->
-      let reports = Dispatch.prove_all dispatcher obligations in
-      let summary = Dispatch.summarize reports in
-      (* a failing inferred conjunct announces itself in its label as
-         "loop invariant <stage> :: <formula>" *)
-      let failed_inferred =
-        List.filter_map
-          (fun (r : Dispatch.report) ->
-            match r.Dispatch.verdict with
-            | Logic.Sequent.Valid -> None
-            | _ ->
-              let name = r.Dispatch.sequent.Logic.Sequent.name in
-              let find_sub sub =
-                let n = String.length name and m = String.length sub in
-                let rec go i =
-                  if i + m > n then None
-                  else if String.sub name i m = sub then Some i
-                  else go (i + 1)
-                in
-                go 0
-              in
-              if find_sub "loop invariant" = None then None
-              else
-                match find_sub " :: " with
-                | Some i when opts.infer_loop_invariants -> (
-                  let text =
-                    String.sub name (i + 4) (String.length name - i - 4)
-                  in
-                  match Logic.Parser.parse_opt text with
-                  | Some f -> Some f
-                  | None -> None)
-                | _ -> None)
-          reports
-      in
-      let new_drops =
-        List.filter
-          (fun g -> not (List.exists (Logic.Form.equal g) drop))
-          failed_inferred
-      in
-      if new_drops <> [] && round < 3 then
-        attempt (round + 1) key (drop @ new_drops)
-      else begin
-        (* memoize only fixpoints reached after actual weakening: a
-           replay then provably reproduces this very round, while a
-           round-limit abort keeps replaying the full loop unchanged *)
-        (if new_drops = [] && drop <> [] then
-           Option.iter (fun k -> drop_memo_add e k drop) key);
-        summary
-      end
-    in
-    { method_name = task.Gcl.Desugar.task_name;
-      obligations = attempt 0 None [] }
-  in
   let verify_task task =
-    Trace.with_span ~cat:"verify"
-      ~args:(fun () -> [ ("method", Trace.S task.Gcl.Desugar.task_name) ])
-      "method"
-      (fun () -> verify_task task)
+    { method_name = task.Gcl.Desugar.task_name;
+      obligations = verify_task_summary e task;
+      provenance = Fresh }
   in
-  let methods = Dispatch.Pool.map_opt pool verify_task tasks in
+  let methods = Dispatch.Pool.map_opt e.eng_pool verify_task tasks in
   Option.iter (fun c -> ignore (Dispatch.Cache.trim c)) e.eng_cache;
-  let ok =
-    List.for_all
-      (fun m ->
-        m.obligations.Dispatch.valid = m.obligations.Dispatch.total)
-      methods
+  { methods; ok = report_ok methods; dispatcher = e.eng_dispatcher }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-verification                                         *)
+(* ------------------------------------------------------------------ *)
+
+type stored_method = {
+  sm_name : string; (* "List.add" *)
+  sm_digest : string; (* structural digest of the method itself *)
+  sm_ctx : string; (* Vcgen.Deps.context_digest at record time *)
+  sm_infer : bool; (* infer_loop_invariants when the verdicts were made *)
+  sm_deps : (string * string) list; (* dep key -> digest at record time *)
+  sm_verdicts : (string * string * string) list;
+      (* (obligation name, verdict kind, prover); only settled verdicts
+         ("valid"/"invalid") are ever recorded *)
+}
+
+(** Where incremental verification reads and writes per-method records.
+    [jahob serve] and [--store] back this with the persistent
+    {!module:Daemon.Store}; tests back it with a hashtable.  All four
+    functions may be called concurrently from pool worker domains, so
+    implementations must be thread-safe. *)
+type method_source = {
+  find_method : string -> stored_method option;
+  record_method : stored_method -> unit;
+  remove_method : string -> unit;
+  list_methods : unit -> string list;
+}
+
+(** A method source over a plain hashtable — the base of [--since] (one
+    process verifies base then patch) and of the tests. *)
+let hashtbl_source () : method_source =
+  let tbl : (string, stored_method) Hashtbl.t = Hashtbl.create 32 in
+  let lock = Mutex.create () in
+  let locked f = Mutex.lock lock; Fun.protect ~finally:(fun () -> Mutex.unlock lock) f in
+  { find_method = (fun n -> locked (fun () -> Hashtbl.find_opt tbl n));
+    record_method =
+      (fun sm -> locked (fun () -> Hashtbl.replace tbl sm.sm_name sm));
+    remove_method = (fun n -> locked (fun () -> Hashtbl.remove tbl n));
+    list_methods =
+      (fun () ->
+        locked (fun () -> Hashtbl.fold (fun n _ acc -> n :: acc) tbl [])) }
+
+(* why a method must be re-verified, or [None] for "answer from the
+   store" *)
+let invalidation_reasons (opts : options) (source : method_source)
+    ~(ctx : string) (prog : Ast.program) ~(home : string) (name : string)
+    (digest : string) : string list option =
+  match source.find_method name with
+  | None -> Some [ "new" ]
+  | Some sm ->
+    if sm.sm_ctx <> ctx then Some [ "ctx" ]
+    else if sm.sm_infer <> opts.infer_loop_invariants then Some [ "options" ]
+    else if sm.sm_digest <> digest then Some [ "method" ]
+    else begin
+      let changed =
+        List.filter_map
+          (fun (key, old) ->
+            match Vcgen.Deps.digest_of_key prog ~home key with
+            | None -> Some key (* unparseable record: treat as changed *)
+            | Some d -> if d <> old then Some key else None)
+          sm.sm_deps
+      in
+      if changed = [] then None else Some changed
+    end
+
+(* a stored verdict replayed as a report: the obligation itself is not
+   regenerated (that is the whole point), so the sequent is a named
+   placeholder *)
+let replay_report ((oname, kind, prover) : string * string * string) :
+    Dispatch.report =
+  { Dispatch.sequent = Logic.Sequent.make ~name:oname [] Logic.Form.mk_true;
+    verdict =
+      (if kind = "valid" then Logic.Sequent.Valid
+       else Logic.Sequent.Invalid "stored countermodel");
+    prover = (if prover = "" then None else Some prover);
+    cached = true }
+
+(** Incremental verification against a method store.  Each verifiable
+    method is re-verified iff it is new, its own structural digest
+    changed, the global desugaring context changed, or one of its
+    recorded dependency digests changed — otherwise its stored verdicts
+    are replayed and the method reports [Unchanged].  Re-verified
+    methods with fully settled obligations are recorded back, so a cold
+    run against an empty source doubles as the base run. *)
+let verify_program_inc (e : engine) ~(source : method_source)
+    (prog : Ast.program) : program_report =
+  let opts = e.eng_opts in
+  Logic.Hashcons.set_enabled opts.use_hashcons;
+  Option.iter Dispatch.Cache.new_epoch e.eng_cache;
+  let ctx =
+    Trace.with_span ~cat:"frontend" "ctx-digest" (fun () ->
+        Vcgen.Deps.context_digest prog)
   in
-  { methods; ok; dispatcher }
+  let decisions =
+    List.concat_map
+      (fun (c : Ast.class_decl) ->
+        List.filter_map
+          (fun (m : Ast.method_decl) ->
+            match m.Ast.m_body with
+            | None -> None
+            | Some _ ->
+              let name = c.Ast.c_name ^ "." ^ m.Ast.m_name in
+              let dg = Javaparser.Astdiff.method_digest c.Ast.c_name m in
+              let why =
+                invalidation_reasons opts source ~ctx prog
+                  ~home:c.Ast.c_name name dg
+              in
+              Some (c, m, name, dg, why))
+          c.Ast.c_methods)
+      prog
+  in
+  (* drop records of methods that no longer exist, so a re-added method
+     is verified fresh rather than answered from a stale record *)
+  let live = List.map (fun (_, _, n, _, _) -> n) decisions in
+  List.iter
+    (fun n -> if not (List.mem n live) then source.remove_method n)
+    (source.list_methods ());
+  let verify_one (c, m, name, dg, why) =
+    match why with
+    | None ->
+      let sm =
+        match source.find_method name with
+        | Some sm -> sm
+        | None -> assert false (* decided Unchanged above *)
+      in
+      Trace.incr "jahob.inc_unchanged";
+      { method_name = name;
+        obligations = Dispatch.summarize (List.map replay_report sm.sm_verdicts);
+        provenance = Unchanged }
+    | Some why ->
+      let task =
+        Trace.with_span ~cat:"frontend" "desugar" (fun () ->
+            Gcl.Desugar.method_task prog c m)
+      in
+      let summary = verify_task_summary e task in
+      source.remove_method name;
+      (* only fully settled methods are recorded: an Unknown must be
+         retried next run, exactly as the verdict cache refuses to keep
+         Unknowns *)
+      if summary.Dispatch.unknown = 0 then
+        source.record_method
+          { sm_name = name; sm_digest = dg; sm_ctx = ctx;
+            sm_infer = opts.infer_loop_invariants;
+            sm_deps = Vcgen.Deps.task_deps prog ~home:c.Ast.c_name task;
+            sm_verdicts =
+              List.map
+                (fun (r : Dispatch.report) ->
+                  ( r.Dispatch.sequent.Logic.Sequent.name,
+                    Logic.Sequent.verdict_kind r.Dispatch.verdict,
+                    Option.value r.Dispatch.prover ~default:"" ))
+                summary.Dispatch.reports };
+      { method_name = name; obligations = summary;
+        provenance = Invalidated why }
+  in
+  let methods = Dispatch.Pool.map_opt e.eng_pool verify_one decisions in
+  Option.iter (fun c -> ignore (Dispatch.Cache.trim c)) e.eng_cache;
+  { methods; ok = report_ok methods; dispatcher = e.eng_dispatcher }
 
 (** Verify every method of a parsed program (one-shot: builds an engine,
     verifies, releases the pool). *)
@@ -330,7 +502,14 @@ let verify_file ?opts (path : string) : program_report =
 let pp_report ?(stats = false) ppf (r : program_report) =
   List.iter
     (fun m ->
-      Format.fprintf ppf "@[<v 2>%s: %a@]@." m.method_name
+      let tag =
+        match m.provenance with
+        | Fresh -> ""
+        | Unchanged -> " [unchanged]"
+        | Invalidated why ->
+          Printf.sprintf " [re-verified: %s]" (String.concat ", " why)
+      in
+      Format.fprintf ppf "@[<v 2>%s%s: %a@]@." m.method_name tag
         Dispatch.pp_summary m.obligations)
     r.methods;
   if stats then

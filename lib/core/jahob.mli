@@ -7,10 +7,22 @@
     symbolic shape analysis when not annotated, and inferred conjuncts
     that fail their own checks are weakened away automatically. *)
 
+(** How a method's verdicts were obtained this run. *)
+type provenance =
+  | Fresh  (** cold verification: VCs generated and dispatched *)
+  | Unchanged  (** incremental: answered entirely from the method store *)
+  | Invalidated of string list
+      (** incremental: re-verified, with the reasons — ["new"],
+          ["method"], ["ctx"], ["options"], or the dependency keys whose
+          digests changed (e.g. ["inv:List"], ["ct:List.add"]) *)
+
 type method_report = {
   method_name : string;
   obligations : Dispatch.summary;
+  provenance : provenance;
 }
+
+val provenance_reasons : provenance -> string list
 
 type program_report = {
   methods : method_report list;
@@ -84,6 +96,43 @@ val shutdown_engine : engine -> unit
 (** Verify on a resident engine.  Each call is one cache batch: a new
     recency epoch on entry, an LRU trim back under the cap on exit. *)
 val verify_program_with : engine -> Javaparser.Ast.program -> program_report
+
+(** One method's record in a persistent store: its structural digest,
+    the global context digest, the dependency digests its VCs read, and
+    the settled verdicts to replay while none of those change. *)
+type stored_method = {
+  sm_name : string;
+  sm_digest : string;
+  sm_ctx : string;
+  sm_infer : bool;
+  sm_deps : (string * string) list;
+  sm_verdicts : (string * string * string) list;
+      (** (obligation name, verdict kind ["valid"]/["invalid"], prover) *)
+}
+
+(** Where incremental verification reads and writes per-method records.
+    Implementations must be thread-safe: pool worker domains call all
+    four functions concurrently. *)
+type method_source = {
+  find_method : string -> stored_method option;
+  record_method : stored_method -> unit;
+  remove_method : string -> unit;
+  list_methods : unit -> string list;
+}
+
+(** A fresh in-memory method source (a locked hashtable) — backs
+    [jahob verify --since] within one process, and the tests. *)
+val hashtbl_source : unit -> method_source
+
+(** Incremental verification against a method store.  Each verifiable
+    method is re-verified iff it is new, its own structural digest
+    changed, the global desugaring context changed, or one of its
+    recorded dependency digests changed — otherwise its stored verdicts
+    are replayed and the method reports {!Unchanged}.  Re-verified
+    methods whose obligations all settled are recorded back, so a run
+    against an empty source doubles as the base (cold) run. *)
+val verify_program_inc :
+  engine -> source:method_source -> Javaparser.Ast.program -> program_report
 
 (** Parse and verify files on a resident engine (the daemon's request
     handler). *)

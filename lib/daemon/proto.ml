@@ -11,6 +11,7 @@
 
     {v
     {"id":1,"cmd":"verify","files":["examples/list/List.java", ...]}
+    {"id":1,"cmd":"verify","files":[...],"incremental":true}
     {"id":2,"cmd":"prove","hyps":["x <= y","y <= z"],"goal":"x <= z"}
     {"id":3,"cmd":"stats"}
     {"id":4,"cmd":"ping"}
@@ -26,7 +27,10 @@
 module Json = Trace.Json
 
 type request =
-  | Verify of { id : Json.t option; files : string list }
+  | Verify of { id : Json.t option; files : string list; incremental : bool }
+      (* [incremental]: consult the method/dependency index and re-verify
+         only invalidated methods; each method in the response then
+         carries ["changed"] and (when re-verified) ["invalidated_by"] *)
   | Prove of { id : Json.t option; hyps : string list; goal : string }
   | Stats of { id : Json.t option }
   | Ping of { id : Json.t option }
@@ -166,7 +170,13 @@ let parse_request (s : string) : (request, string * Json.t option) result =
       match cmd with
       | "verify" -> (
         match string_list_member "files" v with
-        | Ok (Some (_ :: _ as files)) -> Ok (Verify { id; files })
+        | Ok (Some (_ :: _ as files)) ->
+          let incremental =
+            match Json.member "incremental" v with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
+          Ok (Verify { id; files; incremental })
         | Ok _ -> Error ("\"verify\" needs a non-empty \"files\" array", id)
         | Error e -> Error (e, id))
       | "prove" -> (

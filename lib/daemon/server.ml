@@ -42,6 +42,10 @@ type t = {
   cfg : config;
   engine : Jahob.engine;
   store : Store.t option;
+  mem_source : Jahob.method_source;
+      (* incremental method records when no on-disk store is configured:
+         they live as long as the daemon, so successive incremental
+         requests in one session still skip unchanged methods *)
   started : float; (* Clock.now at creation, for uptime *)
   mutable requests : int;
 }
@@ -64,7 +68,13 @@ let create (cfg : config) : t =
         s)
       cfg.store_path
   in
-  { cfg; engine; store; started = Clock.now (); requests = 0 }
+  { cfg; engine; store; mem_source = Jahob.hashtbl_source ();
+    started = Clock.now (); requests = 0 }
+
+(** Where incremental verify reads/writes method records: the on-disk
+    store when configured, else the daemon-lifetime in-memory source. *)
+let method_source (t : t) : Jahob.method_source =
+  match t.store with Some s -> Store.source s | None -> t.mem_source
 
 let store (t : t) : Store.t option = t.store
 let engine (t : t) : Jahob.engine = t.engine
@@ -101,23 +111,59 @@ let report_obj (r : Dispatch.report) : Buffer.t -> unit =
 
 let method_obj (m : Jahob.method_report) : Buffer.t -> unit =
   let s = m.Jahob.obligations in
+  let provenance_fields =
+    match m.Jahob.provenance with
+    | Jahob.Fresh -> []
+    | Jahob.Unchanged -> [ Proto.fld_bool "changed" false ]
+    | Jahob.Invalidated why ->
+      [ Proto.fld_bool "changed" true;
+        Proto.fld_arr "invalidated_by"
+          (List.map (fun w b -> Proto.J.str b w) why) ]
+  in
   Proto.obj
-    [ Proto.fld_str "method" m.Jahob.method_name;
-      Proto.fld_int "total" s.Dispatch.total;
-      Proto.fld_int "valid" s.Dispatch.valid;
-      Proto.fld_int "invalid" s.Dispatch.invalid;
-      Proto.fld_int "unknown" s.Dispatch.unknown;
-      Proto.fld_arr "obligations"
-        (List.map report_obj s.Dispatch.reports) ]
+    ([ Proto.fld_str "method" m.Jahob.method_name;
+       Proto.fld_int "total" s.Dispatch.total;
+       Proto.fld_int "valid" s.Dispatch.valid;
+       Proto.fld_int "invalid" s.Dispatch.invalid;
+       Proto.fld_int "unknown" s.Dispatch.unknown ]
+    @ provenance_fields
+    @ [ Proto.fld_arr "obligations"
+          (List.map report_obj s.Dispatch.reports) ])
 
-let handle_verify (t : t) id (files : string list) : string =
-  match Jahob.verify_files_with t.engine files with
+let handle_verify (t : t) id ~(incremental : bool) (files : string list) :
+    string =
+  let run () =
+    if not incremental then Jahob.verify_files_with t.engine files
+    else begin
+      let prog =
+        List.concat_map
+          (fun p -> Javaparser.Jparser.parse_program_file p)
+          files
+      in
+      Jahob.verify_program_inc t.engine ~source:(method_source t) prog
+    end
+  in
+  match run () with
   | report ->
     persist t;
+    let counts =
+      if not incremental then []
+      else
+        let unchanged, reverified =
+          List.partition
+            (fun (m : Jahob.method_report) ->
+              m.Jahob.provenance = Jahob.Unchanged)
+            report.Jahob.methods
+        in
+        [ Proto.fld_bool "incremental" true;
+          Proto.fld_int "unchanged" (List.length unchanged);
+          Proto.fld_int "reverified" (List.length reverified) ]
+    in
     Proto.line
       (Proto.id_fields id
-      @ [ Proto.fld_bool "ok" report.Jahob.ok;
-          Proto.fld_arr "methods"
+      @ [ Proto.fld_bool "ok" report.Jahob.ok ]
+      @ counts
+      @ [ Proto.fld_arr "methods"
             (List.map method_obj report.Jahob.methods) ])
   | exception e -> Proto.error_line ?id (Printexc.to_string e)
 
@@ -170,7 +216,8 @@ let handle_stats (t : t) id : string =
     | Some s ->
       [ Proto.fld_str "store" (Store.path s);
         Proto.fld_str "store_status" (Store.status_to_string (Store.status s));
-        Proto.fld_int "store_entries" (Store.entries s) ]
+        Proto.fld_int "store_entries" (Store.entries s);
+        Proto.fld_int "store_methods" (Store.method_count s) ]
   in
   Proto.line
     (Proto.id_fields id
@@ -183,7 +230,8 @@ let handle (t : t) (line : string) : string * [ `Continue | `Stop ] =
   t.requests <- t.requests + 1;
   match Proto.parse_request line with
   | Error (msg, id) -> (Proto.error_line ?id msg, `Continue)
-  | Ok (Proto.Verify { id; files }) -> (handle_verify t id files, `Continue)
+  | Ok (Proto.Verify { id; files; incremental }) ->
+    (handle_verify t id ~incremental files, `Continue)
   | Ok (Proto.Prove { id; hyps; goal }) ->
     (handle_prove t id hyps goal, `Continue)
   | Ok (Proto.Stats { id }) -> (handle_stats t id, `Continue)

@@ -35,6 +35,7 @@
     the race only decides whose recency stamps win. *)
 
 open Logic
+open Jahob_core
 
 type entry = {
   verdict : Sequent.verdict; (* Valid or Invalid only; never Unknown *)
@@ -60,6 +61,10 @@ type t = {
   log : string -> unit;
   mutable clock : int;
   table : (string, entry) Hashtbl.t;
+  methods : (string, Jahob.stored_method) Hashtbl.t;
+      (* the dependency index (schema v2): per-method structural digest,
+         context digest, dependency digests and settled verdicts — what
+         incremental re-verification consults before regenerating VCs *)
   mutable status : status;
   mutable dirty : bool; (* entries added since the last save *)
   lock : Mutex.t;
@@ -72,7 +77,7 @@ let default_cap = 100_000
 (* ------------------------------------------------------------------ *)
 
 (* bump when the persisted layout itself changes *)
-let format_version = "jahob-store/1"
+let format_version = "jahob-store/2"
 
 (* every probe pokes at a convention the canonical printer encodes:
    integer vs set comparison tokens, set difference vs minus, binder
@@ -124,13 +129,19 @@ let fingerprint () : string =
 (* ------------------------------------------------------------------ *)
 
 (* magic line first, so `head -1` identifies the file and a truncated
-   or foreign file fails before Marshal ever runs *)
-let magic = "jahob-verdict-store\n"
+   or foreign file fails before Marshal ever runs.  The v1 magic (no
+   dependency index, different [persisted] layout) is recognized only to
+   be refused with a precise reason — running Marshal against a v1
+   payload with the v2 type would be undefined behavior, so the version
+   check must happen on raw bytes. *)
+let magic = "jahob-verdict-store/2\n"
+let magic_v1 = "jahob-verdict-store\n"
 
 type persisted = {
   p_fingerprint : string;
   p_clock : int;
   p_entries : (string * Sequent.verdict * string option * int) array;
+  p_methods : Jahob.stored_method array;
 }
 
 (* Read a store file into a [persisted], or say why not.  Any exception
@@ -143,12 +154,19 @@ let read_file (path : string) : (persisted, string) result =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
         try
-          let m = really_input_string ic (String.length magic) in
-          if m <> magic then Error "bad magic (not a verdict store)"
-          else begin
+          let n = min (in_channel_length ic) (String.length magic) in
+          let m = really_input_string ic n in
+          if m = magic then begin
             let (p : persisted) = Marshal.from_channel ic in
             Ok p
           end
+          else if String.length m >= String.length magic_v1
+                  && String.sub m 0 (String.length magic_v1) = magic_v1
+          then
+            Error
+              "version skew: store format v1 (no dependency index), this \
+               binary writes v2"
+          else Error "bad magic (not a verdict store)"
         with
         | End_of_file -> Error "truncated store file"
         | Failure e -> Error ("corrupt store file: " ^ e)
@@ -163,8 +181,8 @@ let default_log msg = Printf.eprintf "[store] %s\n%!" msg
 let load ?(cap = default_cap) ?(log = default_log) (path : string) : t =
   let t =
     { path; cap = (if cap <= 0 then max_int else cap); log; clock = 0;
-      table = Hashtbl.create 256; status = Fresh; dirty = false;
-      lock = Mutex.create () }
+      table = Hashtbl.create 256; methods = Hashtbl.create 64;
+      status = Fresh; dirty = false; lock = Mutex.create () }
   in
   (if Sys.file_exists path then
      match read_file path with
@@ -192,11 +210,16 @@ let load ?(cap = default_cap) ?(log = default_log) (path : string) : t =
            (fun (k, verdict, prover, used) ->
              Hashtbl.replace t.table k { verdict; prover; used })
            p.p_entries;
+         Array.iter
+           (fun (sm : Jahob.stored_method) ->
+             Hashtbl.replace t.methods sm.Jahob.sm_name sm)
+           p.p_methods;
          t.clock <- p.p_clock;
          t.status <- Warm (Hashtbl.length t.table);
          log
-           (Printf.sprintf "%s: warm start — %d verdicts on disk" path
-              (Hashtbl.length t.table))
+           (Printf.sprintf "%s: warm start — %d verdicts, %d method \
+                            records on disk" path
+              (Hashtbl.length t.table) (Hashtbl.length t.methods))
        end);
   t
 
@@ -245,6 +268,54 @@ let add (t : t) (digest : string) (verdict : Sequent.verdict)
       Hashtbl.replace t.table digest { verdict; prover; used = t.clock };
       t.dirty <- true);
     Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* The method/dependency index (schema v2)                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_method (t : t) (name : string) : Jahob.stored_method option =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.methods name in
+  Mutex.unlock t.lock;
+  (match r with
+  | Some _ -> Trace.incr "store.method_hit"
+  | None -> Trace.incr "store.method_miss");
+  r
+
+let record_method (t : t) (sm : Jahob.stored_method) : unit =
+  Mutex.lock t.lock;
+  Hashtbl.replace t.methods sm.Jahob.sm_name sm;
+  t.dirty <- true;
+  Mutex.unlock t.lock
+
+let remove_method (t : t) (name : string) : unit =
+  Mutex.lock t.lock;
+  if Hashtbl.mem t.methods name then begin
+    Hashtbl.remove t.methods name;
+    t.dirty <- true
+  end;
+  Mutex.unlock t.lock
+
+let list_methods (t : t) : string list =
+  Mutex.lock t.lock;
+  let r = Hashtbl.fold (fun n _ acc -> n :: acc) t.methods [] in
+  Mutex.unlock t.lock;
+  List.sort compare r
+
+let method_count (t : t) : int =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.methods in
+  Mutex.unlock t.lock;
+  n
+
+(** The store as a {!Jahob.method_source} — what
+    {!Jahob.verify_program_inc} reads and writes.  Thread-safe: every
+    operation takes the store lock. *)
+let source (t : t) : Jahob.method_source =
+  { Jahob.find_method = find_method t;
+    record_method = record_method t;
+    remove_method = remove_method t;
+    list_methods = (fun () -> list_methods t) }
 
 (* ------------------------------------------------------------------ *)
 (* Cache integration                                                   *)
@@ -314,7 +385,12 @@ let save (t : t) : unit =
              (fun (k, verdict, prover, used) ->
                if not (Hashtbl.mem t.table k) then
                  Hashtbl.replace t.table k { verdict; prover; used })
-             p.p_entries
+             p.p_entries;
+           Array.iter
+             (fun (sm : Jahob.stored_method) ->
+               if not (Hashtbl.mem t.methods sm.Jahob.sm_name) then
+                 Hashtbl.replace t.methods sm.Jahob.sm_name sm)
+             p.p_methods
          | Ok _ | Error _ -> ());
       let evicted = trim_locked t in
       if evicted > 0 then
@@ -329,6 +405,9 @@ let save (t : t) : unit =
               (fun k (e : entry) acc ->
                 (k, e.verdict, e.prover, e.used) :: acc)
               t.table []
+            |> List.sort compare |> Array.of_list;
+          p_methods =
+            Hashtbl.fold (fun _ sm acc -> sm :: acc) t.methods []
             |> List.sort compare |> Array.of_list }
       in
       let dir = Filename.dirname t.path in

@@ -33,6 +33,85 @@ let array_state_var = "Object.arrayState"
 let array_length_var = "Array.length"
 
 (* ------------------------------------------------------------------ *)
+(* Dependency recording                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** What a method's verification conditions read from {e other} program
+    elements.  Every place the desugarer consults the program beyond the
+    method's own AST records one of these into the enclosing task's
+    accumulator; incremental re-verification then re-digests each
+    recorded element against the edited program and re-verifies the
+    method iff its own digest or any dependency digest changed
+    ({!Vcgen.Deps} computes the digests).  The method's own body,
+    contract and signature are covered by its structural digest, so they
+    are deliberately {e not} deps. *)
+type dep =
+  | Dep_inv of string
+      (** the invariant block of a class (assumed on entry, asserted on
+          exit of its own methods) *)
+  | Dep_specvar of string * string
+      (** [(class, specvar)]: declaration consulted or definition
+          unfolded — the digest includes the definition only from inside
+          the declaring class, mirroring {!unfold_specvar}'s opacity
+          rule *)
+  | Dep_contract of string * string
+      (** [(class, method)]: a callee's signature + contract (body
+          excluded — body edits never invalidate callers) *)
+  | Dep_ctor of string
+      (** which constructor (if any) [new C()] runs, with its contract *)
+  | Dep_fields of string
+      (** a class's field footprint: own fields plus claimedby-delegated
+          ones — allocation defaults and call-frame havocs read it *)
+  | Dep_resolve of string * string
+      (** [(class, name)]: how an identifier resolves inside a class
+          (specvar vs field vs free logical variable), including the
+          resolved declaration *)
+  | Dep_unq of string
+      (** an unqualified [x..f] annotation disambiguated by scanning all
+          classes for a field/specvar of that name *)
+  | Dep_class of string
+      (** whether a class of this name exists (static-call receiver
+          disambiguation) *)
+
+let dep_key (d : dep) : string =
+  match d with
+  | Dep_inv c -> "inv:" ^ c
+  | Dep_specvar (c, v) -> "sv:" ^ c ^ "." ^ v
+  | Dep_contract (c, m) -> "ct:" ^ c ^ "." ^ m
+  | Dep_ctor c -> "ctor:" ^ c
+  | Dep_fields c -> "fld:" ^ c
+  | Dep_resolve (c, x) -> "rs:" ^ c ^ "." ^ x
+  | Dep_unq x -> "unq:" ^ x
+  | Dep_class c -> "cls:" ^ c
+
+(** Parse a {!dep_key} back (the persistent store keeps deps as
+    strings). *)
+let dep_of_key (s : string) : dep option =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+    let tag = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let split_dot r =
+      match String.index_opt r '.' with
+      | None -> None
+      | Some j ->
+        Some
+          ( String.sub r 0 j,
+            String.sub r (j + 1) (String.length r - j - 1) )
+    in
+    match tag with
+    | "inv" -> Some (Dep_inv rest)
+    | "ctor" -> Some (Dep_ctor rest)
+    | "fld" -> Some (Dep_fields rest)
+    | "unq" -> Some (Dep_unq rest)
+    | "cls" -> Some (Dep_class rest)
+    | "sv" -> Option.map (fun (c, v) -> Dep_specvar (c, v)) (split_dot rest)
+    | "ct" -> Option.map (fun (c, m) -> Dep_contract (c, m)) (split_dot rest)
+    | "rs" -> Option.map (fun (c, x) -> Dep_resolve (c, x)) (split_dot rest)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
 (* Class-table helpers                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -43,9 +122,14 @@ type tenv = {
   cls : Ast.class_decl; (* enclosing class *)
   mtd : Ast.method_decl; (* enclosing method *)
   globalized : (string * string) list; (* (class, member) treated as global *)
+  deps : (dep, unit) Hashtbl.t;
+      (* accumulator shared by every [{env with ...}] copy: records what
+         this method's VCs read from other program elements *)
   mutable locals : (string * Ast.jtype) list;
   mutable counter : int;
 }
+
+let record env (d : dep) : unit = Hashtbl.replace env.deps d ()
 
 let fresh env base =
   env.counter <- env.counter + 1;
@@ -190,6 +274,7 @@ let program_state_vars (prog : Ast.program) (home : string)
 (* ------------------------------------------------------------------ *)
 
 let field_jtype env (cname : string) (fname : string) : Ast.jtype =
+  record env (Dep_resolve (cname, fname));
   match Ast.find_class env.prog cname with
   | None -> error "unknown class %s" cname
   | Some c -> (
@@ -207,6 +292,7 @@ let rec jtype_of env (e : Ast.expr) : Ast.jtype =
     match List.assoc_opt x env.locals with
     | Some t -> t
     | None -> (
+      record env (Dep_resolve (env.cls.Ast.c_name, x));
       match Ast.find_field env.cls x with
       | Some f -> f.Ast.f_type
       | None -> error "unbound identifier %s" x))
@@ -234,6 +320,7 @@ let rec jtype_of env (e : Ast.expr) : Ast.jtype =
 
 and resolve_call env (call : Ast.call) : Ast.class_decl * Ast.method_decl =
   let lookup cname =
+    record env (Dep_contract (cname, call.Ast.call_name));
     match Ast.find_class env.prog cname with
     | None -> error "unknown class %s in call to %s" cname call.Ast.call_name
     | Some c -> (
@@ -246,7 +333,10 @@ and resolve_call env (call : Ast.call) : Ast.class_decl * Ast.method_decl =
     when List.assoc_opt x env.locals = None
          && Ast.find_field env.cls x = None
          && Ast.find_class env.prog x <> None ->
-    (* C.m(...): receiver names a class *)
+    (* C.m(...): receiver names a class; the resolution flips if [x]
+       later becomes a local/field or the class disappears *)
+    record env (Dep_class x);
+    record env (Dep_resolve (env.cls.Ast.c_name, x));
     lookup x
   | Some recv -> (
     match jtype_of env recv with
@@ -262,6 +352,7 @@ and resolve_call env (call : Ast.call) : Ast.class_decl * Ast.method_decl =
    the definition body resolved against that receiver. *)
 let rec unfold_specvar env (visiting : string list) (cname : string)
     (sv : Ast.specvar_decl) (recv : Form.t option) : Form.t =
+  record env (Dep_specvar (cname, sv.Ast.sv_name));
   let key = qualify cname sv.Ast.sv_name in
   if List.mem key visiting then error "recursive vardefs for %s" key;
   let unfoldable = sv.Ast.sv_def <> None && not sv.Ast.sv_ghost in
@@ -308,9 +399,11 @@ and resolve_form env ?(visiting = []) ~(this : Form.t option) (f : Form.t) :
       let cname = String.sub x 0 (String.index x '.') in
       let member = String.sub x (String.index x '.' + 1)
           (String.length x - String.index x '.' - 1) in
+      record env (Dep_class cname);
       match Ast.find_class env.prog cname with
       | None -> Form.Var x (* Object.alloc and friends *)
       | Some c -> (
+        record env (Dep_resolve (cname, member));
         match Ast.find_specvar c member with
         | Some sv when sv.Ast.sv_def <> None && not sv.Ast.sv_ghost ->
           (* a defined specvar used as a bare qualified name: only
@@ -324,6 +417,7 @@ and resolve_form env ?(visiting = []) ~(this : Form.t option) (f : Form.t) :
     end
     else if List.assoc_opt x env.locals <> None then Form.Var x
     else begin
+      record env (Dep_resolve (env.cls.Ast.c_name, x));
       match Ast.find_specvar env.cls x with
       | Some sv ->
         if sv.Ast.sv_static || is_globalized env env.cls.Ast.c_name x then
@@ -354,8 +448,10 @@ and resolve_form env ?(visiting = []) ~(this : Form.t option) (f : Form.t) :
         let cname = String.sub qx 0 (String.index qx '.') in
         let member = String.sub qx (String.index qx '.' + 1)
             (String.length qx - String.index qx '.' - 1) in
+        record env (Dep_class cname);
         match Ast.find_class env.prog cname with
         | Some c -> (
+          record env (Dep_resolve (cname, member));
           match Ast.find_specvar c member with
           | Some sv when sv.Ast.sv_def <> None && not sv.Ast.sv_ghost ->
             unfold_specvar env visiting cname sv (Some obj')
@@ -367,6 +463,7 @@ and resolve_form env ?(visiting = []) ~(this : Form.t option) (f : Form.t) :
            class of... without full typing we qualify against the
            enclosing class chain: prefer a field of any class with that
            name (unambiguous in our programs) *)
+        record env (Dep_unq ux);
         match
           List.find_opt
             (fun (c : Ast.class_decl) -> Ast.find_field c ux <> None)
@@ -422,6 +519,7 @@ let rec desugar_expr env (e : Ast.expr) : Cmd.command * Form.t =
   | Ast.Local x ->
     if List.assoc_opt x env.locals <> None then (Cmd.Skip, Form.Var x)
     else begin
+      record env (Dep_resolve (env.cls.Ast.c_name, x));
       match Ast.find_field env.cls x with
       | Some _ ->
         let key = qualify env.cls.Ast.c_name x in
@@ -536,6 +634,9 @@ let rec desugar_expr env (e : Ast.expr) : Cmd.command * Form.t =
 
 (* fresh object allocation with default field values *)
 and desugar_new env (cname : string) : Cmd.command * Form.t =
+  record env (Dep_class cname);
+  record env (Dep_fields cname);
+  record env (Dep_ctor cname);
   let o = fresh env ("fresh_" ^ cname) in
   env.locals <- (o, Ast.Tclass cname) :: env.locals;
   let alloc = Form.Var alloc_var in
@@ -579,6 +680,7 @@ and apply_contract env (callee_cls : Ast.class_decl)
     (callee : Ast.method_decl) ~(recv : Form.t option) ~(args : Form.t list)
     ~(result : string option) : Cmd.command =
   let cname = callee_cls.Ast.c_name in
+  record env (Dep_contract (cname, callee.Ast.m_name));
   let contract = callee.Ast.m_contract in
   (* environment for resolving the callee's contract formulas *)
   let callee_env =
@@ -601,16 +703,21 @@ and apply_contract env (callee_cls : Ast.class_decl)
   let frame_of_modifies (m : string) : string list * Form.t list =
     (* returns (variables to havoc, frame assumptions) *)
     let resolve_member cname member =
+      record env (Dep_class cname);
       match Ast.find_class env.prog cname with
       | None -> ([ m ], [])
       | Some c -> (
+        record env (Dep_resolve (cname, member));
         match Ast.find_specvar c member with
         | Some sv when sv.Ast.sv_def <> None && not sv.Ast.sv_ghost ->
           (* modifying a derived set.  Inside its own class the concrete
              footprint is havoced (the definition unfolds over it);
              from outside, the abstract variable itself is state. *)
           let footprint =
-            if cname = env.home then class_footprint env.prog cname
+            if cname = env.home then begin
+              record env (Dep_fields cname);
+              class_footprint env.prog cname
+            end
             else [ qualify cname member; alloc_var ]
           in
           let frame =
@@ -815,6 +922,7 @@ and desugar_stmt env (s : Ast.stmt) : Cmd.command =
     if List.assoc_opt x env.locals <> None then Cmd.seq [ c; Cmd.Assign (x, v) ]
     else begin
       (* unqualified field or globalized member *)
+      record env (Dep_resolve (env.cls.Ast.c_name, x));
       match Ast.find_field env.cls x, Ast.find_specvar env.cls x with
       | Some _, _ ->
         let key = qualify env.cls.Ast.c_name x in
@@ -889,6 +997,7 @@ and desugar_stmt env (s : Ast.stmt) : Cmd.command =
     match sp with
     | Ast.Ghost_assign (x, f) -> begin
       let rhs = resolve f in
+      record env (Dep_resolve (env.cls.Ast.c_name, x));
       match Ast.find_specvar env.cls x with
       | Some sv when sv.Ast.sv_ghost ->
         let key = qualify env.cls.Ast.c_name x in
@@ -925,6 +1034,10 @@ type method_task = {
   task_seeds : Form.t list;
       (* resolved contract/invariant formulas: the candidate vocabulary
          for loop-invariant inference *)
+  task_deps : dep list;
+      (* everything beyond the method's own AST that desugaring read,
+         sorted and deduplicated — the invalidation set for incremental
+         re-verification *)
 }
 
 (* snapshot-based old-elimination for the method's own contract *)
@@ -946,9 +1059,15 @@ let method_task (prog : Ast.program) (cls : Ast.class_decl)
   let globalized = compute_globalized prog in
   let env =
     { prog; home = cls.Ast.c_name; cls; mtd; globalized;
+      deps = Hashtbl.create 16;
       locals = List.map (fun (t, x) -> (x, t)) mtd.Ast.m_params;
       counter = 0 }
   in
+  (* the enclosing class's invariants are assumed on entry and asserted
+     on exit; constructors additionally read the field list for default
+     values *)
+  record env (Dep_inv cls.Ast.c_name);
+  if mtd.Ast.m_is_constructor then record env (Dep_fields cls.Ast.c_name);
   let this = this_of env in
   let resolve f = resolve_form env ~this f in
   let state_vars = program_state_vars prog env.home globalized in
@@ -1062,6 +1181,8 @@ let method_task (prog : Ast.program) (cls : Ast.class_decl)
     task_command = command;
     task_state_vars = state_vars;
     task_seeds = seeds;
+    task_deps =
+      List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) env.deps []);
   }
 
 (** All proof tasks of a program (methods with bodies). *)

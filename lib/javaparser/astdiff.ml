@@ -1,0 +1,307 @@
+(** Structural digests of the annotated-Java AST, and program diffing.
+
+    Incremental re-verification needs a {e stable identity} for each
+    method: two parses of the same method must produce the same digest,
+    and any edit that could change the method's verification conditions
+    must change it.  Hashing source bytes fails the first requirement —
+    whitespace and comments never reach the AST, yet they would perturb a
+    byte hash — so every digest here is computed from a canonical
+    printing of the {e typed AST}: statements and expressions print
+    structurally, and every specification formula prints through the
+    same alpha-normalized canonical printer the verdict-cache keys use
+    ({!Logic.Pprint.to_canonical_string}), so bound-variable names in
+    annotations do not matter either.
+
+    Besides the per-method digest, this module digests the {e interface
+    pieces} other methods depend on: a method's contract as seen by its
+    callers (signature + requires/modifies/ensures, body excluded), a
+    class's invariant block, a single specvar declaration (with or
+    without its definition — clients outside the declaring class see the
+    variable as opaque abstract state, so their dependency must not
+    include the private definition), and a class's field footprint
+    (its own fields plus, transitively, the fields of classes
+    [claimedby]-delegated to it — the havoc frame of a call that
+    modifies one of its derived sets). *)
+
+open Ast
+
+let form_str (f : Logic.Form.t) : string =
+  Logic.Pprint.to_canonical_string
+    (Logic.Form.alpha_normalize ~keep_types:true f)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical structural printing                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every printer writes unambiguous prefix tags with explicit argument
+   counts, so concatenation cannot make two different trees collide. *)
+
+let add_form (b : Buffer.t) (f : Logic.Form.t) : unit =
+  Buffer.add_char b 'F';
+  let s = form_str f in
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let add_str (b : Buffer.t) (s : string) : unit =
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let add_opt_form (b : Buffer.t) (f : Logic.Form.t option) : unit =
+  match f with
+  | None -> Buffer.add_char b '_'
+  | Some f -> add_form b f
+
+let add_jtype (b : Buffer.t) (t : jtype) : unit =
+  Buffer.add_char b 'T';
+  add_str b (jtype_to_string t)
+
+(* expressions reuse the AST's own unambiguous printer (fully
+   parenthesized, distinct syntax per constructor) *)
+let add_expr (b : Buffer.t) (e : expr) : unit =
+  Buffer.add_char b 'E';
+  add_str b (expr_to_string e)
+
+let add_lhs (b : Buffer.t) (l : lhs) : unit =
+  match l with
+  | Lhs_local x ->
+    Buffer.add_string b "Ll";
+    add_str b x
+  | Lhs_field (e, f) ->
+    Buffer.add_string b "Lf";
+    add_expr b e;
+    add_str b f
+  | Lhs_index (a, i) ->
+    Buffer.add_string b "Li";
+    add_expr b a;
+    add_expr b i
+
+let add_spec_stmt (b : Buffer.t) (s : spec_stmt) : unit =
+  match s with
+  | Ghost_assign (x, f) ->
+    Buffer.add_string b "Sg";
+    add_str b x;
+    add_form b f
+  | Assert_spec (lbl, f) ->
+    Buffer.add_string b "Sa";
+    add_str b (Option.value lbl ~default:"");
+    add_form b f
+  | Assume_spec (lbl, f) ->
+    Buffer.add_string b "Su";
+    add_str b (Option.value lbl ~default:"");
+    add_form b f
+  | Note_that (lbl, f) ->
+    Buffer.add_string b "Sn";
+    add_str b (Option.value lbl ~default:"");
+    add_form b f
+  | Loop_invariant f ->
+    Buffer.add_string b "Si";
+    add_form b f
+
+let rec add_stmt (b : Buffer.t) (s : stmt) : unit =
+  match s with
+  | Var_decl (t, x, init) ->
+    Buffer.add_char b 'D';
+    add_jtype b t;
+    add_str b x;
+    (match init with None -> Buffer.add_char b '_' | Some e -> add_expr b e)
+  | Assign (l, e) ->
+    Buffer.add_char b 'A';
+    add_lhs b l;
+    add_expr b e
+  | Expr_stmt e ->
+    Buffer.add_char b 'X';
+    add_expr b e
+  | If (c, a, els) ->
+    Buffer.add_char b 'I';
+    add_expr b c;
+    add_stmts b a;
+    add_stmts b els
+  | While (inv, c, body) ->
+    Buffer.add_char b 'W';
+    add_opt_form b inv;
+    add_expr b c;
+    add_stmts b body
+  | Return e ->
+    Buffer.add_char b 'R';
+    (match e with None -> Buffer.add_char b '_' | Some e -> add_expr b e)
+  | Block ss ->
+    Buffer.add_char b 'B';
+    add_stmts b ss
+  | Spec sp -> add_spec_stmt b sp
+
+and add_stmts (b : Buffer.t) (ss : stmt list) : unit =
+  Buffer.add_char b '[';
+  Buffer.add_string b (string_of_int (List.length ss));
+  List.iter (add_stmt b) ss;
+  Buffer.add_char b ']'
+
+let add_contract (b : Buffer.t) (c : contract) : unit =
+  Buffer.add_char b 'C';
+  add_opt_form b c.requires;
+  Buffer.add_char b 'm';
+  Buffer.add_string b (string_of_int (List.length c.modifies));
+  List.iter (add_str b) c.modifies;
+  Buffer.add_char b 'e';
+  add_opt_form b c.ensures
+
+let add_signature (b : Buffer.t) (m : method_decl) : unit =
+  add_str b m.m_name;
+  Buffer.add_string b (if m.m_public then "P" else "p");
+  Buffer.add_string b (if m.m_static then "S" else "i");
+  Buffer.add_string b (if m.m_is_constructor then "K" else "k");
+  add_jtype b m.m_ret;
+  Buffer.add_string b (string_of_int (List.length m.m_params));
+  List.iter
+    (fun (t, x) ->
+      add_jtype b t;
+      add_str b x)
+    m.m_params
+
+let digest_of (pr : Buffer.t -> unit) : string =
+  let b = Buffer.create 512 in
+  pr b;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* The digests                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Identity of a method for change detection: enclosing class,
+    signature, contract and body — everything of the method itself that
+    verification condition generation reads. *)
+let method_digest (cname : string) (m : method_decl) : string =
+  digest_of (fun b ->
+      Buffer.add_string b "method/";
+      add_str b cname;
+      add_signature b m;
+      add_contract b m.m_contract;
+      match m.m_body with
+      | None -> Buffer.add_char b '_'
+      | Some ss -> add_stmts b ss)
+
+(** A method as its {e callers} see it: signature and contract only.
+    Body edits leave this digest unchanged, so they never invalidate
+    call sites. *)
+let contract_digest (cname : string) (m : method_decl) : string =
+  digest_of (fun b ->
+      Buffer.add_string b "contract/";
+      add_str b cname;
+      add_signature b m;
+      add_contract b m.m_contract)
+
+(** A class's invariant block, order-sensitive (invariant indices appear
+    in obligation labels). *)
+let invariants_digest (c : class_decl) : string =
+  digest_of (fun b ->
+      Buffer.add_string b "invs/";
+      add_str b c.c_name;
+      Buffer.add_string b (string_of_int (List.length c.c_invariants));
+      List.iter (add_form b) c.c_invariants)
+
+let add_field (b : Buffer.t) (f : field_decl) : unit =
+  add_str b f.f_name;
+  add_jtype b f.f_type;
+  Buffer.add_string b (if f.f_public then "P" else "p");
+  Buffer.add_string b (if f.f_static then "S" else "i");
+  match f.f_claimedby with
+  | None -> Buffer.add_char b '_'
+  | Some o -> add_str b o
+
+(** One field declaration (name, type, modifiers, claimedby). *)
+let field_digest (f : field_decl) : string =
+  digest_of (fun b ->
+      Buffer.add_string b "field/";
+      add_field b f)
+
+(** One specvar declaration.  [with_def:false] is the client view:
+    outside the declaring class the variable is opaque abstract state,
+    so the (private) definition must not leak into the dependency —
+    editing a vardef then re-verifies the declaring class only. *)
+let specvar_digest ~(with_def : bool) (v : specvar_decl) : string =
+  digest_of (fun b ->
+      Buffer.add_string b "specvar/";
+      add_str b v.sv_name;
+      add_str b (Logic.Ftype.to_string v.sv_type);
+      Buffer.add_string b (if v.sv_public then "P" else "p");
+      Buffer.add_string b (if v.sv_static then "S" else "i");
+      Buffer.add_string b (if v.sv_ghost then "G" else "g");
+      if with_def then add_opt_form b v.sv_def
+      else Buffer.add_string b (match v.sv_def with None -> "_" | Some _ -> "D"))
+
+(** The concrete state footprint of class [cname]: its own field
+    declarations plus — because [claimedby] delegates representation —
+    the field declarations of every class claimed by it.  This is
+    exactly what {!Gcl.Desugar}'s call-frame havoc and allocation
+    defaults read, so any edit that could change a frame or a default
+    changes the digest. *)
+let fields_digest (prog : program) (cname : string) : string =
+  digest_of (fun b ->
+      Buffer.add_string b "fields/";
+      add_str b cname;
+      let add_class_fields c =
+        add_str b c.c_name;
+        Buffer.add_string b (string_of_int (List.length c.c_fields));
+        List.iter (add_field b) c.c_fields
+      in
+      (match find_class prog cname with
+      | Some c -> add_class_fields c
+      | None -> Buffer.add_char b '?');
+      (* classes claimed by [cname], with their fields *)
+      List.iter
+        (fun c ->
+          if
+            List.exists (fun f -> f.f_claimedby = Some cname) c.c_fields
+            && c.c_name <> cname
+          then add_class_fields c)
+        prog)
+
+(* ------------------------------------------------------------------ *)
+(* Program diff                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type method_change =
+  | Added
+  | Removed
+  | Changed  (** digest differs: signature, contract or body edited *)
+
+let change_to_string = function
+  | Added -> "added"
+  | Removed -> "removed"
+  | Changed -> "changed"
+
+(** Qualified names and digests of every method {e with a body} (the
+    verifiable ones — interface-only declarations carry no obligations). *)
+let method_digests (p : program) : (string * string) list =
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (fun m ->
+          match m.m_body with
+          | None -> None
+          | Some _ -> Some (c.c_name ^ "." ^ m.m_name, method_digest c.c_name m))
+        c.c_methods)
+    p
+
+(** Method-level diff of two programs: which verifiable methods were
+    added, removed, or structurally changed.  Whitespace, comments and
+    bound-variable renamings in annotations produce an empty diff. *)
+let diff (base : program) (patched : program) : (string * method_change) list =
+  let b = method_digests base and p = method_digests patched in
+  let changes =
+    List.filter_map
+      (fun (name, dg) ->
+        match List.assoc_opt name b with
+        | None -> Some (name, Added)
+        | Some dg' when dg <> dg' -> Some (name, Changed)
+        | Some _ -> None)
+      p
+  in
+  let removed =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name p then None else Some (name, Removed))
+      b
+  in
+  List.sort compare (changes @ removed)

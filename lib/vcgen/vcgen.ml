@@ -15,6 +15,10 @@
     supplies one — and anything supplied is {e verified}, never trusted,
     exactly as Section 2.4 requires. *)
 
+(* Dependency digests for incremental re-verification live in their own
+   compilation unit; re-export it under the library's root module. *)
+module Deps = Deps
+
 open Logic
 
 (* Labels ride along as applications of a reserved head variable, so no

@@ -1,0 +1,66 @@
+// Case 03: editing a CLASS INVARIANT re-verifies every method of that
+// class (each assumes and re-establishes it) but no method of any other
+// class — the modularity boundary of contract-based verification.
+
+class Stack {
+    private static int count;
+
+    /*:
+      public static ghost specvar items :: objset;
+      public static ghost specvar size :: int;
+      invariant "size = card items";
+      invariant "size >= 0";
+      invariant "count = size";
+    */
+
+    public static void init()
+    /*:
+      modifies items, size
+      ensures "items = {} & size = 0"
+    */
+    {
+        count = 0;
+        //: items := "{}";
+        //: size := "0";
+    }
+
+    public static void push(Object o)
+    /*:
+      requires "o ~= null & o ~: items"
+      modifies items, size
+      ensures "items = old items Un {o} & size = old size + 1"
+    */
+    {
+        count = count + 1;
+        //: items := "items Un {o}";
+        //: size := "size + 1";
+    }
+
+    public static boolean isEmpty()
+    /*:
+      ensures "result = (size = 0)"
+    */
+    {
+        return count == 0;
+    }
+}
+
+class StackClient {
+    public static void fill(Object a)
+    /*:
+      requires "a ~= null & a ~: Stack.items"
+      modifies "Stack.items", "Stack.size"
+      ensures "a : Stack.items"
+    */
+    {
+        Stack.push(a);
+    }
+
+    public static boolean check()
+    /*:
+      ensures "result = (Stack.size = 0)"
+    */
+    {
+        return Stack.isEmpty();
+    }
+}

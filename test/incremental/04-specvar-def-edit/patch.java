@@ -1,0 +1,43 @@
+// Case 04: editing a PRIVATE VARDEFS body re-verifies the declaring
+// class's methods (they see the definition unfolded) but not outside
+// clients, who only ever see the specvar as an opaque name.
+
+class Counter {
+    private static int c;
+
+    /*:
+      public static specvar nonneg :: bool;
+      private vardefs "nonneg == 0 - 1 < c";
+    */
+
+    public static void reset()
+    /*:
+      modifies nonneg
+      ensures "nonneg"
+    */
+    {
+        c = 0;
+    }
+
+    public static void bump()
+    /*:
+      requires "nonneg"
+      modifies nonneg
+      ensures "nonneg"
+    */
+    {
+        c = c + 1;
+    }
+}
+
+class CounterClient {
+    public static void tick()
+    /*:
+      requires "Counter.nonneg"
+      modifies "Counter.nonneg"
+      ensures "Counter.nonneg"
+    */
+    {
+        Counter.bump();
+    }
+}

@@ -1,0 +1,66 @@
+// Case 05: strengthening a callee's REQUIRES re-verifies the callee (its
+// own digest changed) and every caller (contract dep "ct:Buffer.put").
+
+class Buffer {
+    /*:
+      public static ghost specvar items :: objset;
+    */
+
+    public static void clear()
+    /*:
+      modifies items
+      ensures "items = {}"
+    */
+    {
+        //: items := "{}";
+    }
+
+    public static void put(Object o)
+    /*:
+      requires "o ~: items & o ~= null & o : {o}"
+      modifies items
+      ensures "items = old items Un {o}"
+    */
+    {
+        //: items := "items Un {o}";
+    }
+
+    public static void take(Object o)
+    /*:
+      requires "o : items"
+      modifies items
+      ensures "items = old items - {o}"
+    */
+    {
+        //: items := "items - {o}";
+    }
+}
+
+class BufferClient {
+    /*:
+      public static ghost specvar pending :: objset;
+      invariant "pending <= Buffer.items";
+    */
+
+    public static void submit(Object job)
+    /*:
+      requires "job ~: Buffer.items & job ~= null"
+      modifies "Buffer.items", pending
+      ensures "job : pending"
+    */
+    {
+        Buffer.put(job);
+        //: pending := "pending Un {job}";
+    }
+
+    public static void complete(Object job)
+    /*:
+      requires "job : pending"
+      modifies "Buffer.items", pending
+      ensures "job ~: pending"
+    */
+    {
+        //: pending := "pending - {job}";
+        Buffer.take(job);
+    }
+}

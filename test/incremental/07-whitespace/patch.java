@@ -1,0 +1,74 @@
+// Case 07 patch: same program, aggressively reformatted.  New comments,
+// blank lines, re-indentation, line breaks inside parameter lists — none
+// of it may perturb a single structural digest.
+
+class Buffer {
+
+    /*:
+      public static ghost specvar items :: objset;
+    */
+
+    // drop everything
+    public static void clear()
+    /*:
+      modifies items
+      ensures "items = {}"
+    */
+    {
+        /* the whole body is one ghost assignment */
+        //: items := "{}";
+    }
+
+    // insert a fresh element
+    public static void put( Object o )
+    /*:
+      requires "o ~: items & o ~= null"
+      modifies items
+      ensures "items = old items Un {o}"
+    */
+    {
+        //: items := "items Un {o}";
+
+    }
+
+
+    public static void take(Object o)
+    /*:
+      requires "o : items"
+      modifies items
+      ensures "items = old items - {o}"
+    */
+    {
+            //: items := "items - {o}";
+    }
+}
+
+class BufferClient {
+    /*:
+      public static ghost specvar pending :: objset;
+      invariant "pending <= Buffer.items";
+    */
+
+    public static void submit(Object job)
+    /*:
+      requires "job ~: Buffer.items & job ~= null"
+      modifies "Buffer.items", pending
+      ensures "job : pending"
+    */
+    {
+        Buffer.put(job); // delegate, then record
+        //: pending := "pending Un {job}";
+    }
+
+    public static void complete(
+        Object job)
+    /*:
+      requires "job : pending"
+      modifies "Buffer.items", pending
+      ensures "job ~: pending"
+    */
+    {
+        //: pending := "pending - {job}";
+        Buffer.take(job);
+    }
+}

@@ -1,0 +1,68 @@
+// Case 08 patch: Buffer.drop is new, Buffer.clear is gone; put/take and
+// the client never referenced either.
+
+class Buffer {
+    /*:
+      public static ghost specvar items :: objset;
+    */
+
+    public static void drop(Object o)
+    /*:
+      requires "o : items"
+      modifies items
+      ensures "o ~: items"
+    */
+    {
+        //: items := "items - {o}";
+    }
+
+
+    public static void put(Object o)
+    /*:
+      requires "o ~: items & o ~= null"
+      modifies items
+      ensures "items = old items Un {o}"
+    */
+    {
+        //: items := "items Un {o}";
+    }
+
+    public static void take(Object o)
+    /*:
+      requires "o : items"
+      modifies items
+      ensures "items = old items - {o}"
+    */
+    {
+        //: items := "items - {o}";
+    }
+}
+
+class BufferClient {
+    /*:
+      public static ghost specvar pending :: objset;
+      invariant "pending <= Buffer.items";
+    */
+
+    public static void submit(Object job)
+    /*:
+      requires "job ~: Buffer.items & job ~= null"
+      modifies "Buffer.items", pending
+      ensures "job : pending"
+    */
+    {
+        Buffer.put(job);
+        //: pending := "pending Un {job}";
+    }
+
+    public static void complete(Object job)
+    /*:
+      requires "job : pending"
+      modifies "Buffer.items", pending
+      ensures "job ~: pending"
+    */
+    {
+        //: pending := "pending - {job}";
+        Buffer.take(job);
+    }
+}

@@ -1,0 +1,26 @@
+// Case 09: renaming a BOUND variable inside a quantified formula is
+// alpha-equivalence, not change.  Digests canonicalize binders, so the
+// whole program must come back unchanged.
+
+class Registry {
+    /*:
+      public static ghost specvar objs :: objset;
+    */
+
+    public static void register(Object o)
+    /*:
+      requires "o ~= null & o ~: objs"
+      modifies objs
+      ensures "objs = old objs Un {o}"
+    */
+    {
+        //: objs := "objs Un {o}";
+    }
+
+    public static void sanity()
+    /*:
+      ensures "ALL x. x : objs --> x : objs"
+    */
+    {
+    }
+}

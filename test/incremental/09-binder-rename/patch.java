@@ -1,0 +1,25 @@
+// Case 09 patch: the quantified postcondition of sanity now binds "y"
+// instead of "x" — alpha-equivalent, so nothing may be re-verified.
+
+class Registry {
+    /*:
+      public static ghost specvar objs :: objset;
+    */
+
+    public static void register(Object o)
+    /*:
+      requires "o ~= null & o ~: objs"
+      modifies objs
+      ensures "objs = old objs Un {o}"
+    */
+    {
+        //: objs := "objs Un {o}";
+    }
+
+    public static void sanity()
+    /*:
+      ensures "ALL y. y : objs --> y : objs"
+    */
+    {
+    }
+}

@@ -119,6 +119,7 @@ type fake_persisted = {
   f_fingerprint : string;
   f_clock : int;
   f_entries : (string * Sequent.verdict * string option * int) array;
+  f_methods : Jahob_core.Jahob.stored_method array;
 }
 
 let test_store_fingerprint_mismatch () =
@@ -126,10 +127,11 @@ let test_store_fingerprint_mismatch () =
   let fake =
     { f_fingerprint = "0123456789abcdef0123456789abcdef";
       f_clock = 3;
-      f_entries = [| (d1, Sequent.Valid, None, 1) |] }
+      f_entries = [| (d1, Sequent.Valid, None, 1) |];
+      f_methods = [||] }
   in
   Out_channel.with_open_bin p (fun oc ->
-      Out_channel.output_string oc "jahob-verdict-store\n";
+      Out_channel.output_string oc "jahob-verdict-store/2\n";
       Marshal.to_channel oc fake []);
   let logged = ref [] in
   let s = Daemon.Store.load ~log:(fun m -> logged := m :: !logged) p in
@@ -147,6 +149,74 @@ let test_store_fingerprint_mismatch () =
       (Daemon.Store.status_to_string st));
   Alcotest.(check bool) "mismatch logged" true (!logged <> []);
   Alcotest.(check int) "stale entries refused" 0 (Daemon.Store.entries s);
+  Sys.remove p
+
+let has_substring (hay : string) (sub : string) : bool =
+  let n = String.length hay and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub hay i m = sub || go (i + 1)) in
+  go 0
+
+(* a v1 store (the pre-method-index format) must trigger a logged cold
+   start with a version-skew reason — never a crash, and never a Marshal
+   read of the old payload with the new record type *)
+let test_store_v1_version_skew () =
+  let p = fresh_path () in
+  Out_channel.with_open_bin p (fun oc ->
+      Out_channel.output_string oc "jahob-verdict-store\n";
+      Out_channel.output_string oc "opaque v1 payload, never unmarshalled");
+  let logged = ref [] in
+  let s = Daemon.Store.load ~log:(fun m -> logged := m :: !logged) p in
+  (match Daemon.Store.status s with
+  | Daemon.Store.Cold why ->
+    Alcotest.(check bool) "reason names the version skew" true
+      (has_substring why "version skew")
+  | st ->
+    Alcotest.failf "expected cold start, got %s"
+      (Daemon.Store.status_to_string st));
+  Alcotest.(check bool) "skew logged" true (!logged <> []);
+  Alcotest.(check int) "v1 entries refused" 0 (Daemon.Store.entries s);
+  Alcotest.(check int) "v1 method records refused" 0
+    (Daemon.Store.method_count s);
+  (* the cold store is fully usable and rewrites the file as v2 *)
+  Daemon.Store.add s d1 Sequent.Valid None;
+  Daemon.Store.save s;
+  let s' = Daemon.Store.load ~log:quiet p in
+  Alcotest.(check bool) "rewritten as v2" true
+    (Daemon.Store.status s' = Daemon.Store.Warm 1);
+  Sys.remove p
+
+(* the schema-v2 method/dependency index survives save/load *)
+let test_store_method_records () =
+  let p = fresh_path () in
+  let s = Daemon.Store.load ~log:quiet p in
+  let src = Daemon.Store.source s in
+  let m1 =
+    { Jahob_core.Jahob.sm_name = "C.m";
+      sm_digest = "dg";
+      sm_ctx = "ctx";
+      sm_infer = true;
+      sm_deps = [ ("ct:C.n", "d1"); ("inv:C", "d0") ];
+      sm_verdicts = [ ("postcondition of m", "valid", "smt") ] }
+  in
+  src.Jahob_core.Jahob.record_method m1;
+  src.Jahob_core.Jahob.record_method
+    { m1 with Jahob_core.Jahob.sm_name = "C.n" };
+  Alcotest.(check bool) "dirty after record" true (Daemon.Store.dirty s);
+  Daemon.Store.save s;
+  let s' = Daemon.Store.load ~log:quiet p in
+  let src' = Daemon.Store.source s' in
+  Alcotest.(check int) "two records on disk" 2 (Daemon.Store.method_count s');
+  (match src'.Jahob_core.Jahob.find_method "C.m" with
+  | Some m when m = m1 -> ()
+  | Some _ -> Alcotest.fail "C.m record mutated across save/load"
+  | None -> Alcotest.fail "C.m record lost");
+  Alcotest.(check (list string)) "listing sorted" [ "C.m"; "C.n" ]
+    (src'.Jahob_core.Jahob.list_methods ());
+  src'.Jahob_core.Jahob.remove_method "C.m";
+  Alcotest.(check bool) "removed" true
+    (src'.Jahob_core.Jahob.find_method "C.m" = None);
+  Alcotest.(check (list string)) "listing after removal" [ "C.n" ]
+    (src'.Jahob_core.Jahob.list_methods ());
   Sys.remove p
 
 let test_store_kill9_mid_write () =
@@ -340,6 +410,56 @@ let test_server_restart_identical () =
   in
   Alcotest.(check bool) "all obligations cached after restart" true all_cached;
   Sys.remove p
+
+(* the verify protocol's incremental mode: first request re-verifies
+   everything as new, the second answers every method from the index *)
+let test_server_incremental_protocol () =
+  let file = examples_dir ^ "/global/Buffer.java" in
+  let req =
+    Printf.sprintf {|{"id":1,"cmd":"verify","files":[%s],"incremental":true}|}
+      (jstr file)
+  in
+  let t = server () in
+  let methods_of v =
+    match member "methods" v with
+    | Trace.Json.Arr ms -> ms
+    | _ -> Alcotest.fail "methods is not an array"
+  in
+  let num k v =
+    match member k v with
+    | Trace.Json.Num n -> int_of_float n
+    | _ -> Alcotest.failf "%S is not a number" k
+  in
+  let resp1, _ = Daemon.Server.handle t req in
+  let v1 = json_of resp1 in
+  Alcotest.(check bool) "flagged incremental" true
+    (member "incremental" v1 = Trace.Json.Bool true);
+  Alcotest.(check int) "cold run answers nothing from the index" 0
+    (num "unchanged" v1);
+  Alcotest.(check int) "cold run re-verifies everything"
+    (List.length (methods_of v1))
+    (num "reverified" v1);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "cold method changed" true
+        (member "changed" m = Trace.Json.Bool true);
+      match member "invalidated_by" m with
+      | Trace.Json.Arr [ Trace.Json.Str "new" ] -> ()
+      | _ -> Alcotest.fail "cold method not invalidated by \"new\"")
+    (methods_of v1);
+  let resp2, _ = Daemon.Server.handle t req in
+  let v2 = json_of resp2 in
+  Alcotest.(check bool) "still ok" true (member "ok" v2 = Trace.Json.Bool true);
+  Alcotest.(check int) "warm run re-verifies nothing" 0 (num "reverified" v2);
+  Alcotest.(check int) "warm run all unchanged"
+    (List.length (methods_of v2))
+    (num "unchanged" v2);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "warm method unchanged" true
+        (member "changed" m = Trace.Json.Bool false))
+    (methods_of v2);
+  Daemon.Server.shutdown t
 
 (* ------------------------------------------------------------------ *)
 (* Deadlines against a stepping wall clock                             *)
@@ -536,6 +656,10 @@ let suite =
         Alcotest.test_case "store: bad magic" `Quick test_store_bad_magic;
         Alcotest.test_case "store: fingerprint mismatch" `Quick
           test_store_fingerprint_mismatch;
+        Alcotest.test_case "store: v1 version skew" `Quick
+          test_store_v1_version_skew;
+        Alcotest.test_case "store: method records round-trip" `Quick
+          test_store_method_records;
         Alcotest.test_case "store: kill -9 mid-write" `Quick
           test_store_kill9_mid_write;
         Alcotest.test_case "store: concurrent clients" `Quick
@@ -547,6 +671,8 @@ let suite =
           test_server_malformed;
         Alcotest.test_case "server: prove hits the cache" `Quick
           test_server_prove_and_cache;
+        Alcotest.test_case "server: incremental verify protocol" `Quick
+          test_server_incremental_protocol;
         Alcotest.test_case "server: restart, identical verdicts" `Slow
           test_server_restart_identical;
         Alcotest.test_case "deadline: survives wall-clock step" `Quick

@@ -4,6 +4,7 @@
 module Ast = Javaparser.Ast
 module Jparser = Javaparser.Jparser
 module Annot = Javaparser.Annot
+module Astdiff = Javaparser.Astdiff
 
 let read_file path =
   let ic = open_in_bin path in
@@ -269,4 +270,114 @@ let suite =
   @ [ ( "javaparser.interface",
         [ Alcotest.test_case "interface-only class" `Quick
             test_interface_only_class ] )
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural digests (Astdiff): the foundation of incremental
+   re-verification.  Digests must be blind to concrete syntax
+   (whitespace, comments, bound-variable names) and must separate the
+   caller view (contract) from the implementation view (body).        *)
+(* ------------------------------------------------------------------ *)
+
+let digest_prog src = Astdiff.method_digests (Jparser.parse_program src)
+
+let test_digest_whitespace_noop () =
+  let base =
+    "class C {\n\
+     /*: public static ghost specvar items :: objset; */\n\
+     public static void add(Object o)\n\
+     /*: requires \"o ~: items\" modifies items\n\
+     \    ensures \"items = old items Un {o}\" */\n\
+     { //: items := \"items Un {o}\";\n\
+     }\n\
+     }"
+  in
+  let reformatted =
+    "// a comment\n\
+     class C {\n\n\
+     /*: public static ghost specvar items :: objset; */\n\n\
+     /* the only method */\n\
+     public static void add( Object o )\n\
+     /*: requires \"o  ~:  items\"  modifies items\n\
+     \    ensures \"items = old items Un {o}\" */\n\
+     {\n\n\
+     //: items := \"items Un {o}\";  \n\
+     }\n\
+     }"
+  in
+  Alcotest.(check (list (pair string string)))
+    "whitespace and comments do not perturb digests" (digest_prog base)
+    (digest_prog reformatted)
+
+let test_digest_binder_rename () =
+  let with_binder x =
+    Printf.sprintf
+      "class C {\n\
+       /*: public static ghost specvar items :: objset; */\n\
+       public static void probe()\n\
+       /*: ensures \"ALL %s. %s : items --> %s : items\" */\n\
+       { }\n\
+       }"
+      x x x
+  in
+  Alcotest.(check (list (pair string string)))
+    "alpha-equivalent contracts digest identically"
+    (digest_prog (with_binder "x"))
+    (digest_prog (with_binder "other"))
+
+let test_digest_body_vs_contract () =
+  let prog body =
+    Jparser.parse_program
+      (Printf.sprintf
+         "class C {\n\
+          private static int n;\n\
+          public static void bump()\n\
+          /*: requires \"0 <= 0\" */\n\
+          { %s }\n\
+          }"
+         body)
+  in
+  let m p =
+    (List.hd (Option.get (Ast.find_class p "C")).Ast.c_methods)
+  in
+  let a = m (prog "n = n + 1;") and b = m (prog "n = n + 2;") in
+  Alcotest.(check bool) "body edit changes the method digest" false
+    (Astdiff.method_digest "C" a = Astdiff.method_digest "C" b);
+  Alcotest.(check string) "body edit leaves the caller view alone"
+    (Astdiff.contract_digest "C" a)
+    (Astdiff.contract_digest "C" b)
+
+let test_digest_diff_classification () =
+  let parse names_and_bodies =
+    Jparser.parse_program
+      ("class C {\n"
+      ^ String.concat "\n"
+          (List.map
+             (fun (n, body) ->
+               Printf.sprintf "public static void %s() { %s }" n body)
+             names_and_bodies)
+      ^ "\n}")
+  in
+  let base = parse [ ("keep", ""); ("edit", ""); ("drop", "") ] in
+  let patched = parse [ ("keep", ""); ("edit", "return;"); ("fresh", "") ] in
+  let d = Astdiff.diff base patched in
+  let change name =
+    Option.map Astdiff.change_to_string (List.assoc_opt name d)
+  in
+  Alcotest.(check (option string)) "untouched" None (change "C.keep");
+  Alcotest.(check (option string)) "edited" (Some "changed") (change "C.edit");
+  Alcotest.(check (option string)) "dropped" (Some "removed") (change "C.drop");
+  Alcotest.(check (option string)) "added" (Some "added") (change "C.fresh")
+
+let suite =
+  suite
+  @ [ ( "javaparser.digest",
+        [ Alcotest.test_case "whitespace/comment no-op" `Quick
+            test_digest_whitespace_noop;
+          Alcotest.test_case "bound-variable rename no-op" `Quick
+            test_digest_binder_rename;
+          Alcotest.test_case "body vs contract digest" `Quick
+            test_digest_body_vs_contract;
+          Alcotest.test_case "diff classification" `Quick
+            test_digest_diff_classification ] )
     ]
