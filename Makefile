@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI should run.
 
-.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench-scaling bench-daemon bench-incremental serve-smoke bench bench-json clean
+.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench-scaling bench-daemon bench-incremental bench-fol serve-smoke bench bench-json clean
 
 all: build
 
@@ -29,6 +29,7 @@ check:
 	$(MAKE) bench-scaling
 	$(MAKE) bench-daemon
 	$(MAKE) bench-incremental
+	$(MAKE) bench-fol
 	$(MAKE) serve-smoke
 
 # a short fixed-seed differential fuzz of every fragment: any prover
@@ -39,6 +40,7 @@ fuzz-smoke:
 	dune exec -- jahob fuzz --seed 42 --count 40 --size 3
 	dune exec -- jahob fuzz --replay test/corpus
 	dune exec -- jahob fuzz --seed 42 --inc 120
+	dune exec -- jahob fuzz --seed 42 --fol 510
 
 # ratio guard for the hash-consing kernel (mirrors trace_overhead): the
 # experiment itself fails unless the cache-key microbenchmark keeps a
@@ -78,6 +80,14 @@ bench-daemon:
 # BENCH_incremental.json
 bench-incremental:
 	dune exec bench/main.exe -- incremental
+
+# A/B guard for the indexed saturation engine: interleaved runs over a
+# saturation-heavy suite must show identical verdicts and a >=2x total
+# wall-clock win for the discrimination-tree engine over the retained
+# naive loop, and the indexed engine may not lose any naive proof on
+# the examples obligations; refreshes BENCH_fol.json
+bench-fol:
+	dune exec bench/main.exe -- fol
 
 # one stdio round-trip through the real daemon: a prove request must
 # come back valid on the same line-oriented protocol the socket serves

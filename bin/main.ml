@@ -434,7 +434,7 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None
          & info [ "fragment" ] ~docv:"FRAG"
              ~doc:"Fuzz only this fragment (euf, presburger, bapa, ws1s, \
-                   mixed); default: all")
+                   fol, mixed); default: all")
   in
   let fuzz_budget_arg =
     Arg.(value & opt float 2.0
@@ -492,8 +492,16 @@ let fuzz_cmd =
                    incremental and from-scratch runs to agree verdict \
                    for verdict")
   in
+  let fol_ab_arg =
+    Arg.(value & opt int 0
+         & info [ "fol" ] ~docv:"N"
+             ~doc:"Instead of fuzzing the portfolio, run $(docv) \
+                   iterations of the resolution prover's indexed-vs-naive \
+                   engine differential on the fol fragment (generous \
+                   caps, finite-model oracle on every proof)")
+  in
   let run seed count size fragment budget corpus no_oracle max_universe
-      int_range max_models replay no_sched_check inc =
+      int_range max_models replay no_sched_check inc fol_ab =
     let cfg =
       { Fuzz.Differ.seed;
         count;
@@ -510,6 +518,23 @@ let fuzz_cmd =
       let r = Fuzz.Incmut.run { Fuzz.Incmut.seed; count = inc } in
       Format.printf "%a@." Fuzz.Incmut.pp_report r;
       if r.Fuzz.Incmut.divergences = [] then 0 else 1
+    end
+    else if fol_ab > 0 then begin
+      let r =
+        Fuzz.Folab.run
+          ~config:
+            { Fuzz.Folab.ab_seed = seed;
+              ab_count = fol_ab;
+              ab_size = size;
+              ab_max_universe = max_universe;
+              ab_int_range = int_range;
+              ab_max_models =
+                (if max_models <= 0 then None else Some max_models);
+            }
+          ()
+      in
+      Format.printf "%a@." Fuzz.Folab.pp_report r;
+      if r.Fuzz.Folab.disagreements = [] then 0 else 1
     end
     else
     match replay with
@@ -562,7 +587,7 @@ let fuzz_cmd =
     Term.(const run $ seed_arg $ count_arg $ size_arg $ fragment_arg
           $ fuzz_budget_arg $ corpus_arg $ no_oracle_arg $ max_universe_arg
           $ int_range_arg $ max_models_arg $ replay_arg $ no_sched_check_arg
-          $ inc_arg)
+          $ inc_arg $ fol_ab_arg)
 
 let main_cmd =
   Cmd.group

@@ -84,35 +84,38 @@ let with_budget ~(budget_s : float) (p : Sequent.prover) : Sequent.prover =
               Atomic.set result (Some r))
             ()
         in
+        (* whether the expiry was this budget's own deadline or an
+           enclosing token (a race that already settled) reaching
+           through; drives both the verdict message and the counters *)
+        let cancelled () =
+          Trace.incr "deadline.cancelled";
+          Sequent.Unknown "attempt cancelled"
+        in
+        let budget_exceeded () =
+          Trace.incr "budget.exceeded";
+          Trace.instant ~cat:"budget"
+            ~args:(fun () ->
+              [ ("prover", Trace.S p.Sequent.prover_name);
+                ("budget_s", Trace.F budget_s) ])
+            "exceeded";
+          Sequent.Unknown (Printf.sprintf "budget of %gs exceeded" budget_s)
+        in
         let rec wait delay =
           match Atomic.get result with
           | Some (Ok v) -> v
           | Some (Error Deadline.Expired) ->
-            (* the helper noticed the cancellation first *)
-            Trace.incr "deadline.cancelled";
-            Sequent.Unknown "attempt cancelled"
+            (* the helper hit a checkpoint first; an explicit cancel
+               request means a race settled elsewhere, otherwise the
+               token timed out on its own — that is the budget *)
+            if Deadline.cancel_requested token then cancelled ()
+            else budget_exceeded ()
           | Some (Error e) -> raise e
           | None ->
             if Deadline.expired token then begin
-              (* budget elapsed, or an enclosing token (a race that
-                 already settled) was cancelled: stop the helper at its
-                 next checkpoint and answer now *)
+              (* stop the helper at its next checkpoint and answer now *)
               let raced_away = Deadline.cancel_requested token in
               Deadline.cancel token;
-              if raced_away then begin
-                Trace.incr "deadline.cancelled";
-                Sequent.Unknown "attempt cancelled"
-              end
-              else begin
-                Trace.incr "budget.exceeded";
-                Trace.instant ~cat:"budget"
-                  ~args:(fun () ->
-                    [ ("prover", Trace.S p.Sequent.prover_name);
-                      ("budget_s", Trace.F budget_s) ])
-                  "exceeded";
-                Sequent.Unknown
-                  (Printf.sprintf "budget of %gs exceeded" budget_s)
-              end
+              if raced_away then cancelled () else budget_exceeded ()
             end
             else begin
               Thread.delay delay;

@@ -19,60 +19,16 @@ open Folterm
 (* Literals and clauses                                                *)
 (* ------------------------------------------------------------------ *)
 
-type lit = { sign : bool; pred : string; args : term list }
+(* the clause language and the inference rules live in {!Folclause};
+   re-exported here so this entry module keeps its historical interface *)
+include Folclause
 
-type clause = lit list (* implicit disjunction; [] is the empty clause *)
+(** The term language and the clause indexes, re-exported for tests and
+    tooling (library-internal modules are otherwise hidden behind this
+    entry module). *)
+module Term = Folterm
 
-let lit_negate l = { l with sign = not l.sign }
-
-let pp_lit ppf l =
-  Format.fprintf ppf "%s%s(%a)"
-    (if l.sign then "" else "~")
-    l.pred
-    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_term)
-    l.args
-
-let pp_clause ppf (c : clause) =
-  if c = [] then Format.pp_print_string ppf "[]"
-  else
-    Format.pp_print_list
-      ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
-      pp_lit ppf c
-
-let apply_lit s l = { l with args = List.map (apply s) l.args }
-let apply_clause s c = List.map (apply_lit s) c
-
-let clause_vars (c : clause) : string list =
-  List.fold_left (fun acc l -> List.fold_left term_vars acc l.args) [] c
-
-let rename_clause suffix (c : clause) : clause =
-  List.map (fun l -> { l with args = List.map (rename_term suffix) l.args }) c
-
-(* [obj] sort guards are bookkeeping, not search progress: they are
-   excluded from the size/length budgets so that guarded clauses keep the
-   same priority as their unguarded ancestors did *)
-let clause_size (c : clause) =
-  List.fold_left
-    (fun n l ->
-      if l.pred = "obj" then n
-      else n + 1 + List.fold_left (fun m t -> m + term_size t) 0 l.args)
-    0 c
-
-let clause_lits (c : clause) =
-  List.fold_left (fun n l -> if l.pred = "obj" then n else n + 1) 0 c
-
-(* direct variable renaming (simultaneous, unlike the triangular [apply]) *)
-let rec map_vars f = function
-  | V x -> V (f x)
-  | Fn (g, args) -> Fn (g, List.map (map_vars f) args)
-
-(* syntactic equality after normalizing variable names *)
-let normalize_clause (c : clause) : clause =
-  let vars = List.rev (clause_vars c) in
-  let tbl = List.mapi (fun i x -> (x, Printf.sprintf "_v%d" i)) vars in
-  let f x = match List.assoc_opt x tbl with Some y -> y | None -> x in
-  List.sort_uniq compare
-    (List.map (fun l -> { l with args = List.map (map_vars f) l.args }) c)
+module Index = Index
 
 (* ------------------------------------------------------------------ *)
 (* Translation from specification formulas                             *)
@@ -453,98 +409,28 @@ let theory_axioms (clauses : clause list) : clause list =
   rt_axioms @ write_axioms @ null_field_axioms @ obj_axioms
 
 (* ------------------------------------------------------------------ *)
-(* Given-clause resolution loop                                        *)
+(* Given-clause resolution loops                                       *)
 (* ------------------------------------------------------------------ *)
-
-(* all binary resolvents of c1 and c2 (c2 freshly renamed) *)
-let resolvents (c1 : clause) (c2 : clause) : clause list =
-  let c2 = rename_clause "'" c2 in
-  List.concat_map
-    (fun l1 ->
-      List.filter_map
-        (fun l2 ->
-          if l1.sign = l2.sign || l1.pred <> l2.pred then None
-          else
-            match
-              (try Some (List.fold_left2 unify [] l1.args l2.args)
-               with No_unifier | Invalid_argument _ -> None)
-            with
-            | None -> None
-            | Some s ->
-              let rest1 = List.filter (fun l -> l != l1) c1 in
-              let rest2 = List.filter (fun l -> l != l2) c2 in
-              Some (normalize_clause (apply_clause s (rest1 @ rest2))))
-        c2)
-    c1
-
-(* factoring: unify two literals of the same clause *)
-let factors (c : clause) : clause list =
-  let rec pairs = function
-    | [] -> []
-    | l :: rest -> List.map (fun l' -> (l, l')) rest @ pairs rest
-  in
-  List.filter_map
-    (fun (l1, l2) ->
-      if l1.sign <> l2.sign || l1.pred <> l2.pred then None
-      else
-        match
-          (try Some (List.fold_left2 unify [] l1.args l2.args)
-           with No_unifier | Invalid_argument _ -> None)
-        with
-        | None -> None
-        | Some s ->
-          Some (normalize_clause (apply_clause s (List.filter (fun l -> l != l2) c))))
-    (pairs c)
-
-let is_tautology (c : clause) : bool =
-  List.exists
-    (fun l ->
-      List.exists (fun l' -> l.sign <> l'.sign && l.pred = l'.pred && l.args = l'.args) c)
-    c
-
-(* one-way matching: only the pattern's variables may bind *)
-let rec match_term (s : subst) (pat : term) (t : term) : subst =
-  match pat, t with
-  | V x, _ -> (
-    match List.assoc_opt x s with
-    | Some u -> if u = t then s else raise No_unifier
-    | None -> (x, t) :: s)
-  | Fn (f, xs), Fn (g, ys) ->
-    if f <> g || List.length xs <> List.length ys then raise No_unifier
-    else List.fold_left2 match_term s xs ys
-  | Fn _, V _ -> raise No_unifier
-
-(* subsumption: c1 subsumes c2 if some instance of c1 (variables of c2
-   fixed) is a subset of c2 *)
-let subsumes (c1 : clause) (c2 : clause) : bool =
-  let c1 = rename_clause "!" c1 in
-  let rec go s = function
-    | [] -> true
-    | l1 :: rest ->
-      List.exists
-        (fun l2 ->
-          l1.sign = l2.sign && l1.pred = l2.pred
-          &&
-          match
-            (try Some (List.fold_left2 match_term s l1.args l2.args)
-             with No_unifier | Invalid_argument _ -> None)
-          with
-          | Some s' -> go s' rest
-          | None -> false)
-        c2
-  in
-  List.length c1 <= List.length c2 && go [] c1
 
 type outcome = Proof | Saturated | GaveUp
 
-(** Refute [usable] (axioms + hypotheses, assumed consistent) against the
-    set-of-support [sos] (the negated goal): every inference uses at least
-    one SOS-descended parent, the classic Wos-style strategy that keeps
-    the equality axioms from feeding on themselves. *)
-let refute ?(max_clauses = 4000) ?(max_weight = 60) ?(max_lits = 6)
+(** Which saturation engine runs a refutation.  [Indexed] is the default:
+    discrimination-tree partner retrieval, full forward/backward
+    subsumption and an age–weight passive queue.  [Naive] is the original
+    textbook loop, kept as the A/B baseline for the bench guard and the
+    fuzzer's engine differential. *)
+type engine = Indexed | Naive
+
+(* read once at module init: one getenv per process, not one per
+   given-clause iteration *)
+let fol_debug = Sys.getenv_opt "FOL_DEBUG" <> None
+
+(** The original engine: O(active) partner scans, unit-only forward
+    subsumption, weight-only passive queue. *)
+let refute_naive ?(max_clauses = 4000) ?(max_weight = 60) ?(max_lits = 6)
     ?(timeout_s = 1.5) ~(usable : clause list) ~(sos : clause list) () :
     outcome =
-  let deadline = Sys.time () +. timeout_s in
+  let deadline = Clock.now () +. timeout_s in
   let usable = List.filter (fun c -> not (is_tautology c)) (List.map normalize_clause usable) in
   let sos = List.map normalize_clause sos in
   if List.exists (fun c -> c = []) (usable @ sos) then Proof
@@ -580,11 +466,11 @@ let refute ?(max_clauses = 4000) ?(max_weight = 60) ?(max_lits = 6)
     while !result = None do
       Deadline.check ();
       if Pq.is_empty !passive then result := Some Saturated
-      else if !total > max_clauses || Sys.time () > deadline then
+      else if !total > max_clauses || Clock.now () > deadline then
         result := Some GaveUp
       else begin
         let ((_, _, given) as entry) = Pq.min_elt !passive in
-        (if Sys.getenv_opt "FOL_DEBUG" <> None then
+        (if fol_debug then
            Format.eprintf "pop total=%d passive=%d active=%d given=%a@."
              !total (Pq.cardinal !passive)
              (List.length !active_usable + List.length !active_sos)
@@ -620,6 +506,167 @@ let refute ?(max_clauses = 4000) ?(max_weight = 60) ?(max_lits = 6)
     done;
     match !result with Some r -> r | None -> assert false
   end
+
+(** The indexed engine.  Same inference rules and SOS restriction as
+    {!refute_naive}, but:
+
+    - resolution partners come from a discrimination-tree index over the
+      active literals instead of a scan of every active clause;
+    - forward subsumption is full-clause (a new or popped clause subsumed
+      by any active clause is discarded, not just unit-subsumed ones) and
+      backward subsumption retires every active {e and passive} clause the
+      newly activated given clause subsumes;
+    - the passive queue alternates between best-weight and oldest-age
+      picks at [age_weight_ratio] weight picks per age pick, so old heavy
+      clauses cannot starve;
+    - the dedup table is keyed on {!Folclause.normalize_clause}'s
+      variable-normalized form, so renamed variants collapse. *)
+let refute_indexed ?(max_clauses = 4000) ?(max_weight = 60) ?(max_lits = 6)
+    ?(timeout_s = 1.5) ?(age_weight_ratio = 5) ~(usable : clause list)
+    ~(sos : clause list) () : outcome =
+  let deadline = Clock.now () +. timeout_s in
+  let usable =
+    List.filter (fun c -> not (is_tautology c)) (List.map normalize_clause usable)
+  in
+  let sos = List.map normalize_clause sos in
+  if List.exists (fun c -> c = []) (usable @ sos) then Proof
+  else begin
+    let idx = Index.create () in
+    let module Pq = Set.Make (struct
+      type t = int * int * Index.entry
+
+      let compare (w1, i1, _) (w2, i2, _) = compare (w1, i1) (w2, i2)
+    end) in
+    let passive = ref Pq.empty in
+    let age_queue : Index.entry Queue.t = Queue.create () in
+    let seen = Hashtbl.create 256 in
+    let total = ref 0 in
+    (* [max_clauses] bounds clauses actually {e kept}: duplicates the
+       dedup table absorbs and tautologies cost nothing (the naive
+       engine charges its budget for every generated clause) *)
+    let add_passive c =
+      if Hashtbl.mem seen c then Index.note_dedup idx
+      else if not (is_tautology c) then begin
+        Hashtbl.add seen c ();
+        incr total;
+        let e = Index.register idx c in
+        passive := Pq.add (e.Index.weight, e.Index.id, e) !passive;
+        Queue.add e age_queue
+      end
+    in
+    (* usable clauses are active from the start; forward subsumption
+       between them already prunes duplicated axioms *)
+    List.iter
+      (fun c ->
+        if Index.forward_subsumed idx c = None then
+          Index.activate idx (Index.register idx c))
+      usable;
+    List.iter add_passive sos;
+    let picks = ref 0 in
+    let rec pop_weight () =
+      match Pq.min_elt_opt !passive with
+      | None -> None
+      | Some ((_, _, e) as entry) ->
+        passive := Pq.remove entry !passive;
+        if e.Index.state = Index.Passive then Some e else pop_weight ()
+    in
+    (* An age pick takes the oldest passive clause — unless it is far
+       heavier than the current best, in which case it is requeued and
+       this round falls back to a weight pick.  Unguarded FIFO picks let
+       one aged, variable-headed equality clause resolve against the
+       whole active set and flood the clause budget; the guard defers
+       such clauses until the light clauses are spent (the Pq minimum
+       has risen), which is when fairness actually needs them. *)
+    let age_pick_admissible w =
+      match Pq.min_elt_opt !passive with
+      | None -> true
+      | Some (wmin, _, _) -> w <= (2 * wmin) + 4
+    in
+    let rec pop_age budget =
+      if budget = 0 then pop_weight ()
+      else
+        match Queue.take_opt age_queue with
+        | None -> pop_weight ()
+        | Some e ->
+          if e.Index.state <> Index.Passive then pop_age budget
+          else if age_pick_admissible e.Index.weight then begin
+            passive := Pq.remove (e.Index.weight, e.Index.id, e) !passive;
+            Some e
+          end
+          else begin
+            Queue.add e age_queue;
+            pop_age (budget - 1)
+          end
+    in
+    let pop_given () =
+      incr picks;
+      if age_weight_ratio > 0 && !picks mod (age_weight_ratio + 1) = 0 then
+        pop_age (Queue.length age_queue)
+      else pop_weight ()
+    in
+    let result = ref None in
+    while !result = None do
+      Deadline.check ();
+      if Pq.is_empty !passive then result := Some Saturated
+      else if !total > max_clauses || Clock.now () > deadline then
+        result := Some GaveUp
+      else
+        match pop_given () with
+        | None ->
+          (* only retired (back-subsumed) clauses were left queued:
+             saturation with respect to the live set *)
+          result := Some Saturated
+        | Some given ->
+          let gcl = given.Index.cl in
+          if fol_debug then
+            Format.eprintf "pop total=%d passive=%d active_lits=%d given=%a@."
+              !total (Pq.cardinal !passive) idx.Index.active_lits pp_clause gcl;
+          (match Index.forward_subsumed idx gcl with
+          | Some _ -> Index.retire idx given
+          | None ->
+            Index.activate idx given;
+            List.iter (Index.retire idx) (Index.backward_subsumed idx given);
+            (* SOS restriction: the given clause (SOS-descended) resolves
+               against the active set — which now includes itself, so
+               self-resolvents are covered by the same retrieval *)
+            let new_clauses =
+              factors gcl
+              @ List.concat_map
+                  (fun l ->
+                    List.filter_map
+                      (fun (e, l2) -> resolve_on gcl l e.Index.cl l2)
+                      (Index.retrieve_partners idx l))
+                  gcl
+            in
+            List.iter
+              (fun c ->
+                if c = [] then result := Some Proof
+                else if
+                  clause_size c <= max_weight
+                  && clause_lits c <= max_lits
+                  (* cheap unit filter here, once per generated clause;
+                     the full subsumption check runs at activation *)
+                  && Index.unit_subsumed idx c = None
+                then add_passive c)
+              new_clauses)
+    done;
+    Index.flush_stats idx;
+    match !result with Some r -> r | None -> assert false
+  end
+
+(** Refute [usable] (axioms + hypotheses, assumed consistent) against the
+    set-of-support [sos] (the negated goal): every inference uses at least
+    one SOS-descended parent, the classic Wos-style strategy that keeps
+    the equality axioms from feeding on themselves. *)
+let refute ?(engine = Indexed) ?max_clauses ?max_weight ?max_lits ?timeout_s
+    ?age_weight_ratio ~(usable : clause list) ~(sos : clause list) () :
+    outcome =
+  match engine with
+  | Indexed ->
+    refute_indexed ?max_clauses ?max_weight ?max_lits ?timeout_s
+      ?age_weight_ratio ~usable ~sos ()
+  | Naive ->
+    refute_naive ?max_clauses ?max_weight ?max_lits ?timeout_s ~usable ~sos ()
 
 (* ------------------------------------------------------------------ *)
 (* Prover interface                                                    *)
@@ -688,9 +735,13 @@ let instantiate_foralls (cands : Form.t list) (hyps : Form.t list) :
       | _ -> [])
     hyps
 
-(** Prove a sequent; [set_vars] names the variables known to denote sets
-    (they get extensionality treatment). *)
-let prove_with ?(set_vars = []) (s : Sequent.t) : Sequent.verdict =
+(** Translate a sequent and run the refutation, exposing the raw
+    saturation outcome (and the engine / limit knobs) for differential
+    testing and benchmarking; [Error what] means the sequent is not
+    first-order translatable. *)
+let outcome_with ?engine ?max_clauses ?max_weight ?max_lits ?timeout_s
+    ?age_weight_ratio ?(set_vars = []) (s : Sequent.t) :
+    (outcome, string) result =
   match
     let translated_hyps = List.map (set_to_fol set_vars) s.Sequent.hyps in
     let translated_goal = set_to_fol set_vars (Form.mk_not s.Sequent.goal) in
@@ -723,16 +774,25 @@ let prove_with ?(set_vars = []) (s : Sequent.t) : Sequent.verdict =
     let hyp_clauses = obj_var_units @ hyp_clauses in
     let theory = theory_axioms (hyp_clauses @ goal_clauses) in
     let axioms = equality_axioms (theory @ hyp_clauses @ goal_clauses) in
-    refute ~usable:(axioms @ theory @ hyp_clauses) ~sos:goal_clauses ()
+    refute ?engine ?max_clauses ?max_weight ?max_lits ?timeout_s
+      ?age_weight_ratio
+      ~usable:(axioms @ theory @ hyp_clauses)
+      ~sos:goal_clauses ()
   with
-  | Proof -> Sequent.Valid
-  | Saturated ->
+  | o -> Ok o
+  | exception Untranslatable what -> Error what
+
+(** Prove a sequent; [set_vars] names the variables known to denote sets
+    (they get extensionality treatment). *)
+let prove_with ?engine ?(set_vars = []) (s : Sequent.t) : Sequent.verdict =
+  match outcome_with ?engine ~set_vars s with
+  | Ok Proof -> Sequent.Valid
+  | Ok Saturated ->
     (* saturation without equality-completeness caveats: the clause set is
        satisfiable, but our translation abstracts sorts, so stay safe *)
     Sequent.Unknown "resolution saturated without a proof"
-  | GaveUp -> Sequent.Unknown "resolution budget exhausted"
-  | exception Untranslatable what ->
-    Sequent.Unknown ("not first-order translatable: " ^ what)
+  | Ok GaveUp -> Sequent.Unknown "resolution budget exhausted"
+  | Error what -> Sequent.Unknown ("not first-order translatable: " ^ what)
 
 (* infer set-typed variables from the formula so the prover can be used
    standalone *)

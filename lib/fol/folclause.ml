@@ -1,0 +1,176 @@
+(** Literals, clauses and the clause-level inference rules shared by the
+    resolution engines (naive and indexed) and the term index. *)
+
+open Folterm
+
+type lit = { sign : bool; pred : string; args : term list }
+
+type clause = lit list (* implicit disjunction; [] is the empty clause *)
+
+let lit_negate l = { l with sign = not l.sign }
+
+let pp_lit ppf l =
+  Format.fprintf ppf "%s%s(%a)"
+    (if l.sign then "" else "~")
+    l.pred
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_term)
+    l.args
+
+let pp_clause ppf (c : clause) =
+  if c = [] then Format.pp_print_string ppf "[]"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+      pp_lit ppf c
+
+let apply_lit s l = { l with args = List.map (apply s) l.args }
+let apply_clause s c = List.map (apply_lit s) c
+
+let clause_vars (c : clause) : string list =
+  List.fold_left (fun acc l -> List.fold_left term_vars acc l.args) [] c
+
+let rename_lit suffix (l : lit) : lit =
+  { l with args = List.map (rename_term suffix) l.args }
+
+let rename_clause suffix (c : clause) : clause = List.map (rename_lit suffix) c
+
+(* [obj] sort guards are bookkeeping, not search progress: they are
+   excluded from the size/length budgets so that guarded clauses keep the
+   same priority as their unguarded ancestors did *)
+let clause_size (c : clause) =
+  List.fold_left
+    (fun n l ->
+      if l.pred = "obj" then n
+      else n + 1 + List.fold_left (fun m t -> m + term_size t) 0 l.args)
+    0 c
+
+let clause_lits (c : clause) =
+  List.fold_left (fun n l -> if l.pred = "obj" then n else n + 1) 0 c
+
+(* direct variable renaming (simultaneous, unlike the triangular [apply]) *)
+let rec map_vars f = function
+  | V x -> V (f x)
+  | Fn (g, args) -> Fn (g, List.map (map_vars f) args)
+
+(* Canonical form up to variable renaming: literals are first ordered by a
+   variable-blind skeleton, variables are then renamed _v0, _v1, ... in
+   order of first occurrence in that sequence, and the renamed literals
+   are sorted.  Two clauses differing only in variable names (whatever
+   order their literals arrived in) map to the same normal form, so a
+   dedup table keyed on it catches renamed variants; the renaming is
+   injective, so equal normal forms are always genuine variants. *)
+let normalize_clause (c : clause) : clause =
+  let blind = map_vars (fun _ -> "?") in
+  let skel l = { l with args = List.map blind l.args } in
+  let ordered =
+    List.stable_sort (fun a b -> compare (skel a) (skel b)) c
+  in
+  let vars = List.rev (clause_vars ordered) in
+  let tbl = List.mapi (fun i x -> (x, Printf.sprintf "_v%d" i)) vars in
+  let f x = match List.assoc_opt x tbl with Some y -> y | None -> x in
+  List.sort_uniq compare
+    (List.map (fun l -> { l with args = List.map (map_vars f) l.args }) ordered)
+
+let is_tautology (c : clause) : bool =
+  List.exists
+    (fun l ->
+      List.exists
+        (fun l' -> l.sign <> l'.sign && l.pred = l'.pred && l.args = l'.args)
+        c)
+    c
+
+(* one-way matching: only the pattern's variables may bind *)
+let rec match_term (s : subst) (pat : term) (t : term) : subst =
+  match pat, t with
+  | V x, _ -> (
+    match List.assoc_opt x s with
+    | Some u -> if u = t then s else raise No_unifier
+    | None -> (x, t) :: s)
+  | Fn (f, xs), Fn (g, ys) ->
+    if f <> g || List.length xs <> List.length ys then raise No_unifier
+    else List.fold_left2 match_term s xs ys
+  | Fn _, V _ -> raise No_unifier
+
+(* subsumption: c1 subsumes c2 if some instance of c1 (variables of c2
+   fixed) is a subset of c2.  [subsumes_prepared] expects [c1] already
+   renamed apart from [c2] — callers that test one subsumer against many
+   clauses rename once instead of per test. *)
+let subsumes_prepared (c1 : clause) (c2 : clause) : bool =
+  let rec go s = function
+    | [] -> true
+    | l1 :: rest ->
+      List.exists
+        (fun l2 ->
+          l1.sign = l2.sign && l1.pred = l2.pred
+          &&
+          match
+            (try Some (List.fold_left2 match_term s l1.args l2.args)
+             with No_unifier | Invalid_argument _ -> None)
+          with
+          | Some s' -> go s' rest
+          | None -> false)
+        c2
+  in
+  List.length c1 <= List.length c2 && go [] c1
+
+let subsumes (c1 : clause) (c2 : clause) : bool =
+  subsumes_prepared (rename_clause "!" c1) c2
+
+(* one binary resolvent on a chosen literal pair: [l1] is an occurrence in
+   [c1], [l2] one in [c2] with the opposite sign and the same predicate;
+   [c2] is freshly renamed here.  Physical identity selects the occurrence
+   to cut, exactly as in {!resolvents}. *)
+let resolve_on (c1 : clause) (l1 : lit) (c2 : clause) (l2 : lit) :
+    clause option =
+  let rest2 = rename_clause "'" (List.filter (fun l -> l != l2) c2) in
+  let l2 = rename_lit "'" l2 in
+  match
+    (try Some (List.fold_left2 unify [] l1.args l2.args)
+     with No_unifier | Invalid_argument _ -> None)
+  with
+  | None -> None
+  | Some s ->
+    let rest1 = List.filter (fun l -> l != l1) c1 in
+    Some (normalize_clause (apply_clause s (rest1 @ rest2)))
+
+(* all binary resolvents of c1 and c2 (c2 freshly renamed) *)
+let resolvents (c1 : clause) (c2 : clause) : clause list =
+  let c2 = rename_clause "'" c2 in
+  List.concat_map
+    (fun l1 ->
+      List.filter_map
+        (fun l2 ->
+          if l1.sign = l2.sign || l1.pred <> l2.pred then None
+          else
+            match
+              (try Some (List.fold_left2 unify [] l1.args l2.args)
+               with No_unifier | Invalid_argument _ -> None)
+            with
+            | None -> None
+            | Some s ->
+              let rest1 = List.filter (fun l -> l != l1) c1 in
+              let rest2 = List.filter (fun l -> l != l2) c2 in
+              Some (normalize_clause (apply_clause s (rest1 @ rest2))))
+        c2)
+    c1
+
+(* factoring: unify two literals of the same clause *)
+let factors (c : clause) : clause list =
+  let rec pairs = function
+    | [] -> []
+    | l :: rest -> List.map (fun l' -> (l, l')) rest @ pairs rest
+  in
+  List.filter_map
+    (fun (l1, l2) ->
+      if l1.sign <> l2.sign || l1.pred <> l2.pred then None
+      else
+        match
+          (try Some (List.fold_left2 unify [] l1.args l2.args)
+           with No_unifier | Invalid_argument _ -> None)
+        with
+        | None -> None
+        | Some s ->
+          Some
+            (normalize_clause
+               (apply_clause s (List.filter (fun l -> l != l2) c))))
+    (pairs c)

@@ -1,0 +1,364 @@
+(** Term indexing for the saturation engine.
+
+    Two structures over the clause set of one refutation:
+
+    - a {e discrimination tree} per (sign, predicate) pair over the active
+      clauses' literals.  A literal's argument list is flattened to its
+      pre-order symbol spine (variables flatten to a wildcard) and stored
+      as a path; retrieval walks the query's spine, branching into the
+      wildcard edge at every position and skipping whole stored subterms
+      under query variables.  The result is a superset of the truly
+      unifiable complements — the caller still unifies — fetched without
+      scanning every active literal;
+    - the same trees run full-clause subsumption through the two other
+      classic retrieval modes.  Forward ("is this clause subsumed by an
+      active one?") retrieves {e generalizations}: every active clause
+      designates one watch literal, filed in a watch-tree; a subsumer's
+      watch literal necessarily generalizes some literal of the subsumee,
+      so querying each literal of the new clause covers all candidates.
+      Backward ("which live clauses does this one subsume?") retrieves
+      {e instances} from a tree holding every literal of every registered
+      clause — passive included, so subsumed queued clauses are retired
+      before they are ever picked.
+
+    Entries are retired lazily: {!retire} flips the state and retrieval
+    filters on it, so deletion costs O(1) and no tree surgery.  Stats are
+    accumulated locally and {!flush_stats} publishes them as
+    [fol.index.*] / [fol.subsume.*] trace counters once per refutation,
+    keeping {!Trace} calls out of the inner loop. *)
+
+open Folterm
+open Folclause
+
+type cstate = Passive | Active | Dead
+
+type entry = {
+  id : int;
+  cl : clause;
+  cl_r : clause; (* [cl] renamed apart once, reused by every subsumption test *)
+  weight : int; (* clause_size: the passive queue's priority *)
+  nlits : int; (* List.length: the subsumption length guard *)
+  keys : (bool * string) list; (* distinct (sign, pred), sorted *)
+  mutable state : cstate;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Discrimination tree                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type sym = SVar | SFn of string * int
+
+type node = {
+  mutable leaf : (entry * lit) list;
+      (* literals whose flattened spine ends here *)
+  succ : (sym, node) Hashtbl.t;
+}
+
+let new_node () = { leaf = []; succ = Hashtbl.create 4 }
+
+let insert_path (root : node) (args : term list) (v : entry * lit) : unit =
+  let rec go nd = function
+    | [] -> nd.leaf <- v :: nd.leaf
+    | t :: rest ->
+      let sym, rest =
+        match t with
+        | V _ -> (SVar, rest)
+        | Fn (f, fargs) -> (SFn (f, List.length fargs), fargs @ rest)
+      in
+      let nd' =
+        match Hashtbl.find_opt nd.succ sym with
+        | Some nd' -> nd'
+        | None ->
+          let fresh = new_node () in
+          Hashtbl.add nd.succ sym fresh;
+          fresh
+      in
+      go nd' rest
+  in
+  go root args
+
+(* visit every node reachable by skipping [n] whole stored terms *)
+let rec skip (n : int) (nd : node) (k : node -> unit) : unit =
+  if n = 0 then k nd
+  else
+    Hashtbl.iter
+      (fun sym nd' ->
+        match sym with
+        | SVar -> skip (n - 1) nd' k
+        | SFn (_, arity) -> skip (n - 1 + arity) nd' k)
+      nd.succ
+
+(* the three classic discrimination-tree retrieval modes: candidates
+   that may unify with the query, that may be instances of it, and that
+   may generalize it.  All three overapproximate (the tree is blind to
+   repeated variables); callers confirm with unification or matching. *)
+type mode = Unifiable | Instances | Generalizations
+
+let retrieve_path (mode : mode) (root : node) (args : term list) :
+    (entry * lit) list =
+  let out = ref [] in
+  let rec go nd = function
+    | [] ->
+      (if List.exists (fun (e, _) -> e.state = Dead) nd.leaf then
+         nd.leaf <- List.filter (fun (e, _) -> e.state <> Dead) nd.leaf);
+      List.iter (fun v -> out := v :: !out) nd.leaf
+    | V _ :: rest -> (
+      match mode with
+      | Unifiable | Instances ->
+        (* a query variable admits any stored subterm *)
+        skip 1 nd (fun nd' -> go nd' rest)
+      | Generalizations -> (
+        (* only a stored variable generalizes a query variable *)
+        match Hashtbl.find_opt nd.succ SVar with
+        | Some nd' -> go nd' rest
+        | None -> ()))
+    | Fn (f, fargs) :: rest ->
+      (match mode with
+      | Instances -> () (* a stored variable is not an instance *)
+      | Unifiable | Generalizations -> (
+        match Hashtbl.find_opt nd.succ SVar with
+        | Some nd' -> go nd' rest
+        | None -> ()));
+      (match Hashtbl.find_opt nd.succ (SFn (f, List.length fargs)) with
+      | Some nd' -> go nd' (fargs @ rest)
+      | None -> ())
+  in
+  go root args;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* The index                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable retrieved : int; (* candidates returned by the trees *)
+  mutable scanned : int; (* active literals a naive scan would have tried *)
+  mutable fwd : int; (* clauses discarded by forward subsumption *)
+  mutable bwd : int; (* clauses retired by backward subsumption *)
+  mutable dedup : int; (* normalized-clause dedup hits *)
+}
+
+type t = {
+  trees : (bool * string, node) Hashtbl.t;
+      (* active literals: resolution-partner retrieval (Unifiable) *)
+  watch_trees : (bool * string, node) Hashtbl.t;
+      (* one designated literal per active clause: forward-subsumption
+         candidate retrieval (Generalizations) *)
+  all_trees : (bool * string, node) Hashtbl.t;
+      (* every literal of every registered clause, passive included:
+         backward-subsumption candidate retrieval (Instances) *)
+  units : (bool * string, (entry * lit) list ref) Hashtbl.t;
+      (* active unit clauses only, literal pre-renamed apart: the cheap
+         generation-time filter *)
+  mutable next_id : int;
+  mutable active_lits : int;
+  stats : stats;
+}
+
+let create () : t =
+  { trees = Hashtbl.create 32;
+    watch_trees = Hashtbl.create 32;
+    all_trees = Hashtbl.create 32;
+    units = Hashtbl.create 32;
+    next_id = 0;
+    active_lits = 0;
+    stats = { retrieved = 0; scanned = 0; fwd = 0; bwd = 0; dedup = 0 };
+  }
+
+let lit_key (l : lit) = (l.sign, l.pred)
+
+let clause_keys (c : clause) : (bool * string) list =
+  List.sort_uniq compare (List.map lit_key c)
+
+(* sorted-list inclusion *)
+let rec key_subset xs ys =
+  match xs, ys with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c = 0 then key_subset xs' ys'
+    else if c > 0 then key_subset xs ys'
+    else false
+
+let tree_of family key : node =
+  match Hashtbl.find_opt family key with
+  | Some nd -> nd
+  | None ->
+    let nd = new_node () in
+    Hashtbl.add family key nd;
+    nd
+
+let register (t : t) (c : clause) : entry =
+  let e =
+    { id = t.next_id;
+      cl = c;
+      cl_r = rename_clause "!" c;
+      weight = clause_size c;
+      nlits = List.length c;
+      keys = clause_keys c;
+      state = Passive;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  List.iter
+    (fun l -> insert_path (tree_of t.all_trees (lit_key l)) l.args (e, l))
+    e.cl;
+  e
+
+(* the literal a clause is filed under for subsumption retrieval: any
+   literal is sound (a subsumer maps each of its own literals into the
+   subsumee), so prefer a discriminating predicate over the crowded
+   equality and sort-guard trees *)
+let pilot_lit (c : clause) : lit option =
+  match c with
+  | [] -> None
+  | l0 :: rest ->
+    let score l = if l.pred = "=" then 1 else if l.pred = "obj" then 2 else 0 in
+    Some
+      (List.fold_left
+         (fun best l -> if score l < score best then l else best)
+         l0 rest)
+
+let activate (t : t) (e : entry) : unit =
+  e.state <- Active;
+  List.iter
+    (fun l -> insert_path (tree_of t.trees (lit_key l)) l.args (e, l))
+    e.cl;
+  t.active_lits <- t.active_lits + List.length e.cl;
+  (match (e.cl, e.cl_r) with
+  | [ l ], [ lr ] ->
+    let cell =
+      match Hashtbl.find_opt t.units (lit_key l) with
+      | Some cell -> cell
+      | None ->
+        let cell = ref [] in
+        Hashtbl.add t.units (lit_key l) cell;
+        cell
+    in
+    cell := (e, lr) :: !cell
+  | _ -> ());
+  match pilot_lit e.cl with
+  | Some l -> insert_path (tree_of t.watch_trees (lit_key l)) l.args (e, l)
+  | None -> ()
+
+let retire (t : t) (e : entry) : unit =
+  if e.state = Active then t.active_lits <- t.active_lits - List.length e.cl;
+  e.state <- Dead
+
+let note_dedup (t : t) : unit = t.stats.dedup <- t.stats.dedup + 1
+
+(** Unification candidates among the active literals complementary to
+    [l]: a superset of the truly unifiable partners (the engine still
+    unifies against a renamed copy). *)
+let retrieve_partners (t : t) (l : lit) : (entry * lit) list =
+  t.stats.scanned <- t.stats.scanned + t.active_lits;
+  match Hashtbl.find_opt t.trees (not l.sign, l.pred) with
+  | None -> []
+  | Some root ->
+    let cands =
+      List.filter
+        (fun (e, _) -> e.state = Active)
+        (retrieve_path Unifiable root l.args)
+    in
+    t.stats.retrieved <- t.stats.retrieved + List.length cands;
+    cands
+
+(* does the pre-renamed unit literal [u] match [l]? *)
+let unit_matches (u : lit) (l : lit) : bool =
+  match List.fold_left2 match_term [] u.args l.args with
+  | _ -> true
+  | exception (No_unifier | Invalid_argument _) -> false
+
+(** An active {e unit} clause subsuming [c], if any: the cheap filter the
+    engine runs on every generated clause (one bucket lookup and a
+    backtracking-free match per candidate).  The full check,
+    {!forward_subsumed}, runs once per activation.  Dead entries are
+    compacted out of a bucket whenever a scan walks past them. *)
+let unit_subsumed (t : t) (c : clause) : entry option =
+  let hit =
+    List.find_map
+      (fun l ->
+        match Hashtbl.find_opt t.units (lit_key l) with
+        | None -> None
+        | Some cell ->
+          (if List.exists (fun (e, _) -> e.state = Dead) !cell then
+             cell := List.filter (fun (e, _) -> e.state <> Dead) !cell);
+          List.find_map
+            (fun (e, u) ->
+              if e.state = Active && unit_matches u l then Some e else None)
+            !cell)
+      c
+  in
+  (match hit with
+  | Some _ -> t.stats.fwd <- t.stats.fwd + 1
+  | None -> ());
+  hit
+
+(** An active clause subsuming [c], if any: every literal of [c] asks
+    the watch-trees for stored pilot literals generalizing it — the
+    subsumer, wherever it maps its pilot, is found by that literal. *)
+let forward_subsumed (t : t) (c : clause) : entry option =
+  let keys = clause_keys c in
+  let n = List.length c in
+  let check e =
+    e.state = Active && e.nlits <= n
+    && key_subset e.keys keys
+    && subsumes_prepared e.cl_r c
+  in
+  let rec scan = function
+    | [] -> None
+    | l :: rest -> (
+      match Hashtbl.find_opt t.watch_trees (lit_key l) with
+      | None -> scan rest
+      | Some root -> (
+        match
+          List.find_opt
+            (fun (e, _) -> check e)
+            (retrieve_path Generalizations root l.args)
+        with
+        | Some (e, _) -> Some e
+        | None -> scan rest))
+  in
+  match scan c with
+  | Some e ->
+    t.stats.fwd <- t.stats.fwd + 1;
+    Some e
+  | None -> None
+
+(** Every live clause other than [e] itself that [e]'s clause subsumes
+    (active {e and passive}; the caller retires them).  One literal of
+    [e] asks the all-clauses trees for stored instances; the owners of
+    those literals are the only clauses [e] can subsume. *)
+let backward_subsumed (t : t) (e : entry) : entry list =
+  match pilot_lit e.cl with
+  | None -> []
+  | Some lp -> (
+    match Hashtbl.find_opt t.all_trees (lit_key lp) with
+    | None -> []
+    | Some root ->
+      let seen = Hashtbl.create 16 in
+      let subsumed =
+        List.filter
+          (fun (c, _) ->
+            (not (Hashtbl.mem seen c.id))
+            && begin
+                 Hashtbl.add seen c.id ();
+                 c.id <> e.id && c.state <> Dead && e.nlits <= c.nlits
+                 && key_subset e.keys c.keys
+                 && subsumes_prepared e.cl_r c.cl
+               end)
+          (retrieve_path Instances root lp.args)
+      in
+      t.stats.bwd <- t.stats.bwd + List.length subsumed;
+      List.map fst subsumed)
+
+(** Publish the refutation's counters; one [Trace.add] per counter, so the
+    tracing fast path never sits in the given-clause loop. *)
+let flush_stats (t : t) : unit =
+  let s = t.stats in
+  Trace.add "fol.index.retrieved" s.retrieved;
+  Trace.add "fol.index.scanned" s.scanned;
+  Trace.add "fol.subsume.forward" s.fwd;
+  Trace.add "fol.subsume.backward" s.bwd;
+  Trace.add "fol.dedup.hits" s.dedup

@@ -18,15 +18,18 @@ type fragment =
   | Presburger   (** quantifier-free linear integer arithmetic *)
   | Bapa         (** boolean algebra of sets with cardinalities *)
   | Ws1s         (** monadic sets, object equalities, object quantifiers *)
+  | Fol          (** first-order: equalities, fields, sets, quantifiers —
+                     the resolution prover's diet, cardinality-free *)
   | Mixed        (** everything at once; routed to whoever admits it *)
 
-let all_fragments = [ Euf; Presburger; Bapa; Ws1s; Mixed ]
+let all_fragments = [ Euf; Presburger; Bapa; Ws1s; Fol; Mixed ]
 
 let fragment_name = function
   | Euf -> "euf"
   | Presburger -> "presburger"
   | Bapa -> "bapa"
   | Ws1s -> "ws1s"
+  | Fol -> "fol"
   | Mixed -> "mixed"
 
 let fragment_of_name = function
@@ -34,6 +37,7 @@ let fragment_of_name = function
   | "presburger" -> Some Presburger
   | "bapa" -> Some Bapa
   | "ws1s" -> Some Ws1s
+  | "fol" -> Some Fol
   | "mixed" -> Some Mixed
   | _ -> None
 
@@ -55,6 +59,12 @@ let vocabulary (frag : fragment) : (string * Ftype.t) list =
   | Ws1s ->
     [ ("s", Ftype.objset); ("t", Ftype.objset); ("u", Ftype.objset);
       ("x", Ftype.Obj); ("y", Ftype.Obj);
+    ]
+  | Fol ->
+    [ ("x", Ftype.Obj); ("y", Ftype.Obj); ("z", Ftype.Obj);
+      ("s", Ftype.objset); ("t", Ftype.objset);
+      ("f", Ftype.Arrow (Ftype.Obj, Ftype.Obj));
+      ("g", Ftype.Arrow (Ftype.Obj, Ftype.Obj));
     ]
   | Mixed ->
     [ ("x", Ftype.Obj); ("y", Ftype.Obj); ("z", Ftype.Obj);
@@ -280,6 +290,27 @@ let gen_rtrancl_atom fields objs : Form.t G.t =
   in
   G.return (Form.mk_rtrancl step a b)
 
+(* the resolution prover's diet: equalities over field terms, membership
+   and inclusion over set algebra, reachability — everything clausifiable,
+   nothing with cardinalities *)
+let gen_fol_atom fields sets objs : Form.t G.t =
+  freq
+    [ (3, gen_euf_atom fields objs);
+      ( 2,
+        let* x = gen_obj_leaf objs in
+        let* s = gen_set_term sets objs 1 in
+        G.return (Form.mk_elem x s) );
+      ( 2,
+        let* a = gen_set_term sets objs 1 in
+        let* b = gen_set_term sets objs 1 in
+        oneofl [ Form.mk_subseteq a b; Form.mk_eq a b ] );
+      ( 2,
+        let* x = gen_obj_leaf objs in
+        let* y = gen_obj_leaf objs in
+        G.return (Form.mk_eq x y) );
+      (1, gen_rtrancl_atom fields objs);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Formula and sequent generators                                      *)
 (* ------------------------------------------------------------------ *)
@@ -303,6 +334,7 @@ let gen_atom (scope : scope) : Form.t G.t =
   | Presburger -> gen_presburger_atom ints
   | Bapa -> gen_bapa_atom sets objs
   | Ws1s -> gen_ws1s_atom sets objs
+  | Fol -> gen_fol_atom fields sets objs
   | Mixed ->
     freq
       [ (3, gen_euf_atom fields objs);
@@ -314,7 +346,7 @@ let gen_atom (scope : scope) : Form.t G.t =
 
 (* can this fragment quantify over objects? *)
 let quantifies = function
-  | Ws1s | Mixed -> true
+  | Ws1s | Fol | Mixed -> true
   | Euf | Presburger | Bapa -> false
 
 let rec gen_formula_scoped (scope : scope) ~(fuel : int) : Form.t G.t =

@@ -31,6 +31,7 @@ type t = {
   mutable nvars : int;
   mutable n_clauses : int;
   mutable learnts : clause list;
+  mutable n_learnts : int; (* |learnts|, maintained so the stat is O(1) *)
   mutable watches : clause list array; (* per literal code *)
   mutable assign : int array; (* 1 true, -1 false, 0 unassigned; per var *)
   mutable level : int array;
@@ -52,6 +53,7 @@ let create () =
     nvars = 0;
     n_clauses = 0;
     learnts = [];
+    n_learnts = 0;
     watches = Array.make 16 [];
     assign = Array.make 8 0;
     level = Array.make 8 0;
@@ -305,6 +307,7 @@ let learn_clause s (lits : int array) =
   else begin
     let cl = { lits; activity = s.cla_inc } in
     s.learnts <- cl :: s.learnts;
+    s.n_learnts <- s.n_learnts + 1;
     watch s lits.(0) cl;
     watch s lits.(1) cl;
     enqueue s lits.(0) (Some cl)
@@ -348,7 +351,14 @@ let solve ?(assumptions = []) (s : t) : result =
       Deadline.check ();
       match propagate s with
       | Some confl ->
-        if decision_level s = 0 then result := Some Unsat
+        if decision_level s = 0 then begin
+          (* a conflict with no decisions stands whatever happens next:
+             without this flag a later [solve] would re-search a state
+             whose falsified clause already spent its watches and could
+             answer Sat *)
+          s.ok <- false;
+          result := Some Unsat
+        end
         else begin
           incr conflicts;
           let lits, blevel = analyze s confl in
@@ -402,4 +412,4 @@ let solve_clauses ?(assumptions = []) (clauses : int list list) : result =
 let lit_true (m : bool array) l = if l > 0 then m.(l) else not m.(-l)
 
 let num_vars s = s.nvars
-let num_learnts s = List.length s.learnts
+let num_learnts s = s.n_learnts

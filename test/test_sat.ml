@@ -128,6 +128,36 @@ let coloring edges k n =
   in
   vertex_clauses @ edge_clauses
 
+let test_learnt_counter () =
+  (* num_learnts is a maintained counter, not a list traversal: it must
+     start at zero, grow under a search-heavy unsat instance, and keep
+     counting across incremental solves *)
+  let s = Sat.create () in
+  Alcotest.(check int) "fresh solver has no learnts" 0 (Sat.num_learnts s);
+  (* PHP(4,3): forces real conflict analysis *)
+  let holes = 3 in
+  let var p h = (p * holes) + h + 1 in
+  List.iter
+    (fun c -> ignore (Sat.add_clause s c))
+    (List.init 4 (fun p -> List.init holes (fun h -> var p h)));
+  for h = 0 to holes - 1 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        ignore (Sat.add_clause s [ -var p1 h; -var p2 h ])
+      done
+    done
+  done;
+  (match Sat.solve s with
+  | Sat.Sat _ -> Alcotest.fail "php 4/3 must be unsat"
+  | Sat.Unsat -> ());
+  let after_first = Sat.num_learnts s in
+  Alcotest.(check bool) "unsat search learned clauses" true (after_first > 0);
+  (match Sat.solve s with
+  | Sat.Sat _ -> Alcotest.fail "still unsat"
+  | Sat.Unsat -> ());
+  Alcotest.(check bool) "counter never decreases" true
+    (Sat.num_learnts s >= after_first)
+
 let test_coloring () =
   let triangle = [ (0, 1); (1, 2); (0, 2) ] in
   check_unsat "triangle 2-coloring" (coloring triangle 2 3);
@@ -190,6 +220,7 @@ let suite =
         Alcotest.test_case "assumptions" `Quick test_assumptions;
         Alcotest.test_case "incremental" `Quick test_incremental;
         Alcotest.test_case "graph coloring" `Quick test_coloring;
+        Alcotest.test_case "learnt counter" `Quick test_learnt_counter;
         QCheck_alcotest.to_alcotest prop_agrees_with_bruteforce;
       ] );
   ]
