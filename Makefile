@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI should run.
 
-.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench-scaling bench-daemon bench-incremental bench-fol serve-smoke bench bench-json clean
+.PHONY: all build test check fuzz-smoke perf-smoke bench-sched bench-scaling bench-daemon bench-incremental bench-fol bench-mona serve-smoke bench bench-json clean
 
 all: build
 
@@ -30,6 +30,7 @@ check:
 	$(MAKE) bench-daemon
 	$(MAKE) bench-incremental
 	$(MAKE) bench-fol
+	$(MAKE) bench-mona
 	$(MAKE) serve-smoke
 
 # a short fixed-seed differential fuzz of every fragment: any prover
@@ -41,6 +42,7 @@ fuzz-smoke:
 	dune exec -- jahob fuzz --replay test/corpus
 	dune exec -- jahob fuzz --seed 42 --inc 120
 	dune exec -- jahob fuzz --seed 42 --fol 510
+	dune exec -- jahob fuzz --seed 42 --mona 400
 
 # ratio guard for the hash-consing kernel (mirrors trace_overhead): the
 # experiment itself fails unless the cache-key microbenchmark keeps a
@@ -88,6 +90,16 @@ bench-incremental:
 # the examples obligations; refreshes BENCH_fol.json
 bench-fol:
 	dune exec bench/main.exe -- fol
+
+# A/B guard for the BDD-backed WS1S automata engine: interleaved runs
+# over a width-scaling suite must show identical verdicts and a >=3x
+# total wall-clock win for the symbolic engine over the retained dense
+# table engine, a width-22 chain must stay infeasible for the dense
+# engine inside a 5s budget while the BDD engine solves it, and both
+# engines must agree on every MONA-routed examples obligation;
+# refreshes BENCH_mona.json
+bench-mona:
+	dune exec bench/main.exe -- mona
 
 # one stdio round-trip through the real daemon: a prove request must
 # come back valid on the same line-oriented protocol the socket serves

@@ -1741,6 +1741,250 @@ let fol_bench () =
       (Printf.sprintf "saturation-suite speedup %.2fx below the 2x floor"
          speedup)
 
+(* ------------------------------------------------------------------ *)
+(* MONA: BDD symbolic automata engine vs the dense table engine        *)
+(* ------------------------------------------------------------------ *)
+
+let mona_speedup_floor = 3.0
+
+let mona_bench () =
+  let module W = Mona.Ws1s in
+  header "MONA: BDD symbolic automata engine vs dense table engine A/B";
+  Printf.printf
+    "the WS1S decision procedure's automata were rebuilt over shared\n\
+    \  MTBDDs: each state's outgoing behavior is a decision diagram over\n\
+    \  the track variables, so product/quantification/minimization never\n\
+    \  touch the 2^width concrete alphabet.  The original table engine is\n\
+    \  kept as ~engine:Dense.  This interleaves both engines over a\n\
+    \  width-scaling suite plus the examples' MONA-routed obligations,\n\
+    \  and fails on any verdict divergence or a total speedup below\n\
+    \  %.1fx on the scaling suite.\n"
+    mona_speedup_floor;
+  let x i = Printf.sprintf "X%d" i in
+  (* subset chain over w set tracks: dense rows are 2^w letters wide,
+     the BDD rows are w nodes deep *)
+  let chain w =
+    W.Impl
+      ( W.And (List.init (w - 1) (fun i -> W.Pred (W.Sub (x i, x (i + 1))))),
+        W.Pred (W.Sub (x 0, x (w - 1))) )
+  in
+  let chain_rev w =
+    W.Impl
+      ( W.And (List.init (w - 1) (fun i -> W.Pred (W.Sub (x i, x (i + 1))))),
+        W.Pred (W.Sub (x (w - 1), x 0)) )
+  in
+  (* All2-close the chain: every binder is a dense project+re-insert
+     rebuild but a symbolic in-place quantification *)
+  let all2_cover w =
+    List.fold_left
+      (fun acc i -> W.All2 (x i, acc))
+      (chain w)
+      (List.init w Fun.id)
+  in
+  (* first-order transitivity tower: each position variable rides on a
+     singleton-constrained track *)
+  let order w =
+    let p i = Printf.sprintf "p%d" i in
+    List.fold_left
+      (fun acc i -> W.All1 (p i, acc))
+      (W.Impl
+         ( W.And
+             (List.init (w - 1) (fun i -> W.Pred (W.LessF (p i, p (i + 1))))),
+           W.Pred (W.LessF (p 0, p (w - 1))) ))
+      (List.init w Fun.id)
+  in
+  (* union tower: k EqUnion constraints over 2k+2 tracks *)
+  let union_tower k =
+    let u i = Printf.sprintf "U%d" i in
+    W.Impl
+      ( W.And
+          (W.Pred (W.EqS (u 0, x 0))
+          :: List.init k (fun i ->
+                 W.Pred (W.EqUnion (u (i + 1), u i, x (i + 1))))),
+        W.And [ W.Pred (W.Sub (x 0, u k)); W.Pred (W.Sub (x k, u k)) ] )
+  in
+  let suite =
+    [ ("chain6", chain 6, true);
+      ("chain8", chain 8, true);
+      ("chain10", chain 10, true);
+      ("chain12", chain 12, true);
+      ("chain14", chain 14, true);
+      ("chain-rev8", chain_rev 8, false);
+      ("chain-rev12", chain_rev 12, false);
+      ("all2-cover6", all2_cover 6, true);
+      ("all2-cover8", all2_cover 8, true);
+      ("all2-cover10", all2_cover 10, true);
+      ("order6", order 6, true);
+      ("order8", order 8, true);
+      ("order10", order 10, true);
+      ("union-tower3", union_tower 3, true);
+      ("union-tower5", union_tower 5, true);
+    ]
+  in
+  Trace.start_collecting ();
+  W.reset_peak_states ();
+  let reps = 3 in
+  let n_rows = List.length suite in
+  let best_bdd = Array.make n_rows infinity in
+  let best_dense = Array.make n_rows infinity in
+  let verdicts = Array.make n_rows (true, true) in
+  for rep = 0 to reps - 1 do
+    List.iteri
+      (fun i (_, f, _) ->
+        (* interleave and alternate engine order so drift and warmth
+           cannot favor one arm *)
+        let sample engine best =
+          let v, dt = time_it (fun () -> W.valid ~engine f) in
+          best.(i) <- Float.min best.(i) dt;
+          v
+        in
+        let vb, vd =
+          if rep mod 2 = 0 then
+            let vb = sample W.Bdd best_bdd in
+            (vb, sample W.Dense best_dense)
+          else
+            let vd = sample W.Dense best_dense in
+            (sample W.Bdd best_bdd, vd)
+        in
+        verdicts.(i) <- (vb, vd))
+      suite
+  done;
+  let peak = W.peak_states () in
+  let divergent = ref [] in
+  let wrong = ref [] in
+  List.iteri
+    (fun i (name, _, expected) ->
+      let vb, vd = verdicts.(i) in
+      Printf.printf "  %-16s bdd %8.4fs %-7s   dense %8.4fs %-7s\n%!" name
+        best_bdd.(i)
+        (if vb then "valid" else "invalid")
+        best_dense.(i)
+        (if vd then "valid" else "invalid");
+      if vb <> vd then divergent := name :: !divergent;
+      if vb <> expected then wrong := name :: !wrong)
+    suite;
+  let total_bdd = Array.fold_left ( +. ) 0. best_bdd in
+  let total_dense = Array.fold_left ( +. ) 0. best_dense in
+  let speedup = total_dense /. total_bdd in
+  Printf.printf
+    "  scaling suite: bdd %.4fs   dense %.4fs   speedup %.1fx   peak \
+     automaton states %d\n%!"
+    total_bdd total_dense speedup peak;
+  let counters =
+    List.map
+      (fun k -> (k, Trace.counter_value k))
+      [ "mona.bdd.unique"; "mona.bdd.cache.lookups"; "mona.bdd.cache.hits" ]
+  in
+  List.iter (fun (k, n) -> Printf.printf "  %-24s %d\n%!" k n) counters;
+  (* -- the infeasibility row: a width the dense engine cannot decide
+        within a prover budget (its tables are 2^22 letters per state)
+        while the symbolic engine answers in milliseconds -- *)
+  let hard_w = 22 in
+  let hard_budget = 5.0 in
+  let hard = chain hard_w in
+  let decide engine =
+    try
+      if
+        Deadline.with_token
+          (Deadline.make ~deadline_in:hard_budget ())
+          (fun () -> W.valid ~engine hard)
+      then "valid"
+      else "invalid"
+    with Deadline.Expired -> "expired"
+  in
+  W.reset_peak_states ();
+  let dense_hard, dense_hard_s = time_it (fun () -> decide W.Dense) in
+  let dense_hard_peak = W.peak_states () in
+  W.reset_peak_states ();
+  let bdd_hard, bdd_hard_s = time_it (fun () -> decide W.Bdd) in
+  let bdd_hard_peak = W.peak_states () in
+  Printf.printf
+    "  width-%d chain (budget %.0fs): dense %s after %.2fs (peak %d \
+     states)   bdd %s in %.4fs (peak %d states)\n%!"
+    hard_w hard_budget dense_hard dense_hard_s dense_hard_peak bdd_hard
+    bdd_hard_s bdd_hard_peak;
+  (* -- the examples suite: every obligation the MONA route admits from
+        the examples that produce any (Buffer's global invariants and
+        the association-list lemmas), decided end-to-end through Fca
+        under both engines.  Verdict kinds must match exactly -- *)
+  let obligations =
+    [ examples_dir ^ "/global/Buffer.java"; examples_dir ^ "/assoc/Assoc.java" ]
+    |> List.concat_map (fun f ->
+           let prog = Javaparser.Jparser.parse_program_file f in
+           List.concat_map Vcgen.method_obligations
+             (Gcl.Desugar.program_tasks prog))
+    |> List.filter Fca.in_fragment
+  in
+  let verdict_kind = function
+    | Sequent.Valid -> "valid"
+    | Sequent.Invalid _ -> "invalid"
+    | Sequent.Unknown _ -> "unknown"
+  in
+  let run_examples engine =
+    time_it (fun () ->
+        List.map (fun s -> verdict_kind (Fca.prove_with ~engine s)) obligations)
+  in
+  let dense_ex, dense_ex_s = run_examples W.Dense in
+  let bdd_ex, bdd_ex_s = run_examples W.Bdd in
+  let ex_identical = bdd_ex = dense_ex in
+  let ex_valid = List.length (List.filter (( = ) "valid") bdd_ex) in
+  Printf.printf
+    "  examples: %d mona-routed obligations   bdd %d valid (%.2fs)   \
+     dense (%.2fs)   verdicts identical: %b\n%!"
+    (List.length obligations) ex_valid bdd_ex_s dense_ex_s ex_identical;
+  let json =
+    Printf.sprintf
+      "{\"scaling\":{\"rows\":%d,\"reps\":%d,\"bdd_s\":%.4f,\
+       \"dense_s\":%.4f,\"speedup\":%.2f,\"verdicts_identical\":%b,\
+       \"peak_states\":%d},\"hard\":{\"width\":%d,\"budget_s\":%.1f,\
+       \"dense\":\"%s\",\"dense_s\":%.2f,\"dense_peak_states\":%d,\
+       \"bdd\":\"%s\",\"bdd_s\":%.4f,\"bdd_peak_states\":%d},\
+       \"examples\":{\"obligations\":%d,\"bdd_valid\":%d,\"bdd_s\":%.4f,\
+       \"dense_s\":%.4f,\"verdicts_identical\":%b},\
+       \"bdd_counters\":{%s},\"speedup_floor\":%.1f}"
+      n_rows reps total_bdd total_dense speedup (!divergent = []) peak
+      hard_w hard_budget dense_hard dense_hard_s dense_hard_peak bdd_hard
+      bdd_hard_s bdd_hard_peak (List.length obligations) ex_valid bdd_ex_s
+      dense_ex_s ex_identical
+      (String.concat ","
+         (List.map
+            (fun (k, n) ->
+              Printf.sprintf "\"%s\":%d"
+                (String.map (function '.' -> '_' | c -> c) k)
+                n)
+            counters))
+      mona_speedup_floor
+  in
+  let oc = open_out "BENCH_mona.json" in
+  Printf.fprintf oc "%s\n" json;
+  close_out oc;
+  Printf.printf "  wrote BENCH_mona.json\n%!";
+  note_json "mona" json;
+  (* pass/fail guards *)
+  if !divergent <> [] then
+    failwith
+      ("bdd and dense engines disagree on: " ^ String.concat ", " !divergent);
+  if !wrong <> [] then
+    failwith
+      ("engines agree but contradict the known verdict on: "
+      ^ String.concat ", " !wrong);
+  if not ex_identical then
+    failwith "bdd and dense verdicts diverge on the examples obligations";
+  if speedup < mona_speedup_floor then
+    failwith
+      (Printf.sprintf "scaling-suite speedup %.2fx below the %.1fx floor"
+         speedup mona_speedup_floor);
+  if dense_hard <> "expired" then
+    failwith
+      (Printf.sprintf
+         "width-%d row: the dense engine finished (%s) inside the %.0fs \
+          budget — raise the width so the row stays infeasible"
+         hard_w dense_hard hard_budget);
+  if bdd_hard <> "valid" then
+    failwith
+      (Printf.sprintf "width-%d row: bdd engine answered %s, expected valid"
+         hard_w bdd_hard)
+
 let experiments =
   [ ("fig1_4", fig1_4);
     ("fig1_4b", fig1_4_annotated);
@@ -1756,6 +2000,7 @@ let experiments =
     ("trace_overhead", trace_overhead);
     ("hashcons", hashcons_bench);
     ("fol", fol_bench);
+    ("mona", mona_bench);
     ("sched", sched_bench);
     ("daemon", daemon_bench);
     ("incremental", incremental_bench);

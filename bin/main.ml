@@ -105,6 +105,19 @@ let no_hashcons_arg =
                  tables; every structural pass recomputes from scratch \
                  (A/B escape hatch for benchmarking and debugging)")
 
+let mona_engine_arg =
+  Arg.(value
+       & opt (enum [ ("bdd", Mona.Ws1s.Bdd); ("dense", Mona.Ws1s.Dense) ])
+           Mona.Ws1s.Bdd
+       & info [ "mona-engine" ] ~docv:"ENGINE"
+           ~doc:"WS1S automata engine for the MONA route: $(b,bdd) (the \
+                 default; shared-BDD transition relations, handles wide \
+                 variable counts) or $(b,dense) (the original \
+                 2^width-table engine — A/B escape hatch for differential \
+                 testing).  Verdicts are identical; stores and method \
+                 records are keyed by the engine, so runs never mix them \
+                 silently")
+
 let sched_arg =
   Arg.(value
        & opt
@@ -146,7 +159,11 @@ let trace_format_arg =
                  array)")
 
 let make_options ~no_inference ~provers ~jobs ~no_cache ~cache_cap ~budget
-    ~no_hashcons ~sched ~race : Jahob_core.Jahob.options =
+    ~no_hashcons ~sched ~race ~mona_engine : Jahob_core.Jahob.options =
+  (* set the process default immediately: [verify_with_store] computes
+     the store fingerprint before [create_engine] runs, and the
+     fingerprint must see the engine the run will actually use *)
+  Mona.Ws1s.set_default_engine mona_engine;
   { Jahob_core.Jahob.provers = select_provers provers;
     infer_loop_invariants = not no_inference;
     jobs;
@@ -155,7 +172,8 @@ let make_options ~no_inference ~provers ~jobs ~no_cache ~cache_cap ~budget
     budget_s = budget;
     use_hashcons = not no_hashcons;
     sched;
-    race }
+    race;
+    mona_engine }
 
 let incremental_arg =
   Arg.(value & flag
@@ -221,12 +239,12 @@ let verify_since (opts : Jahob_core.Jahob.options) ~(base : string list)
 
 let verify_cmd =
   let run files no_inference provers stats jobs no_cache cache_cap budget
-      no_hashcons sched race store store_cap incremental since trace_file
-      trace_format =
+      no_hashcons sched race mona_engine store store_cap incremental since
+      trace_file trace_format =
     with_frontend_errors (fun () ->
         let opts =
           make_options ~no_inference ~provers ~jobs ~no_cache ~cache_cap
-            ~budget ~no_hashcons ~sched ~race
+            ~budget ~no_hashcons ~sched ~race ~mona_engine
         in
         (* aggregate counters feed --stats; the sink feeds --trace *)
         if stats || trace_file <> None then Trace.start_collecting ();
@@ -269,8 +287,9 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Verify all annotated methods")
     Term.(const run $ files_arg $ no_inference_arg $ provers_arg $ stats_arg
           $ jobs_arg $ no_cache_arg $ cache_cap_arg $ budget_arg
-          $ no_hashcons_arg $ sched_arg $ race_arg $ store_arg $ store_cap_arg
-          $ incremental_arg $ since_arg $ trace_arg $ trace_format_arg)
+          $ no_hashcons_arg $ sched_arg $ race_arg $ mona_engine_arg
+          $ store_arg $ store_cap_arg $ incremental_arg $ since_arg
+          $ trace_arg $ trace_format_arg)
 
 let serve_cmd =
   let stdio_flag =
@@ -287,11 +306,11 @@ let serve_cmd =
                    request fanning out on the resident worker pool")
   in
   let run stdio socket no_inference provers jobs no_cache cache_cap budget
-      no_hashcons sched race store store_cap =
+      no_hashcons sched race mona_engine store store_cap =
     with_frontend_errors (fun () ->
         let opts =
           make_options ~no_inference ~provers ~jobs ~no_cache ~cache_cap
-            ~budget ~no_hashcons ~sched ~race
+            ~budget ~no_hashcons ~sched ~race ~mona_engine
         in
         let cfg =
           { (Daemon.Server.default_config ()) with
@@ -321,8 +340,8 @@ let serve_cmd =
              optionally backed by a persistent on-disk verdict store")
     Term.(const run $ stdio_flag $ socket_arg $ no_inference_arg
           $ provers_arg $ jobs_arg $ no_cache_arg $ cache_cap_arg
-          $ budget_arg $ no_hashcons_arg $ sched_arg $ race_arg $ store_arg
-          $ store_cap_arg)
+          $ budget_arg $ no_hashcons_arg $ sched_arg $ race_arg
+          $ mona_engine_arg $ store_arg $ store_cap_arg)
 
 let vc_cmd =
   let run files =
@@ -500,8 +519,16 @@ let fuzz_cmd =
                    engine differential on the fol fragment (generous \
                    caps, finite-model oracle on every proof)")
   in
+  let mona_ab_arg =
+    Arg.(value & opt int 0
+         & info [ "mona" ] ~docv:"N"
+             ~doc:"Instead of fuzzing the portfolio, run $(docv) \
+                   iterations of the WS1S automata engine's BDD-vs-dense \
+                   differential on the ws1s fragment (each decision under \
+                   its own deadline; settled verdicts must be identical)")
+  in
   let run seed count size fragment budget corpus no_oracle max_universe
-      int_range max_models replay no_sched_check inc fol_ab =
+      int_range max_models replay no_sched_check inc fol_ab mona_ab =
     let cfg =
       { Fuzz.Differ.seed;
         count;
@@ -535,6 +562,20 @@ let fuzz_cmd =
       in
       Format.printf "%a@." Fuzz.Folab.pp_report r;
       if r.Fuzz.Folab.disagreements = [] then 0 else 1
+    end
+    else if mona_ab > 0 then begin
+      let r =
+        Fuzz.Monaab.run
+          ~config:
+            { Fuzz.Monaab.ab_seed = seed;
+              ab_count = mona_ab;
+              ab_size = size;
+              ab_budget_s = (if budget > 0. then budget else 2.0);
+            }
+          ()
+      in
+      Format.printf "%a@." Fuzz.Monaab.pp_report r;
+      if r.Fuzz.Monaab.disagreements = [] then 0 else 1
     end
     else
     match replay with
@@ -587,7 +628,7 @@ let fuzz_cmd =
     Term.(const run $ seed_arg $ count_arg $ size_arg $ fragment_arg
           $ fuzz_budget_arg $ corpus_arg $ no_oracle_arg $ max_universe_arg
           $ int_range_arg $ max_models_arg $ replay_arg $ no_sched_check_arg
-          $ inc_arg $ fol_ab_arg)
+          $ inc_arg $ fol_ab_arg $ mona_ab_arg)
 
 let main_cmd =
   Cmd.group

@@ -69,6 +69,11 @@ type options = {
           domains (losers are cancelled at their next {!Deadline}
           checkpoint); 1 (the default) runs the plain cascade.  Only
           effective with [jobs > 1]. *)
+  mona_engine : Mona.Ws1s.engine;
+      (** which automata engine decides WS1S obligations on the MONA
+          route: [Bdd] (the default, symbolic MTBDD transitions) or
+          [Dense] (the original 2^width-table engine) — the A/B escape
+          hatch behind [jahob verify --mona-engine] *)
 }
 
 val default_options : unit -> options
@@ -105,6 +110,7 @@ type stored_method = {
   sm_digest : string;
   sm_ctx : string;
   sm_infer : bool;
+  sm_mona : string;  (** {!Mona.Ws1s.engine_name} at record time *)
   sm_deps : (string * string) list;
   sm_verdicts : (string * string * string) list;
       (** (obligation name, verdict kind ["valid"]/["invalid"], prover) *)

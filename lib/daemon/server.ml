@@ -222,7 +222,9 @@ let handle_stats (t : t) id : string =
   Proto.line
     (Proto.id_fields id
     @ [ Proto.fld_int "requests" t.requests;
-        Proto.fld_float "uptime_s" (Clock.now () -. t.started) ]
+        Proto.fld_float "uptime_s" (Clock.now () -. t.started);
+        Proto.fld_str "mona_engine"
+          (Mona.Ws1s.engine_name (Mona.Ws1s.current_default_engine ())) ]
     @ cache_fields @ store_fields)
 
 (** Handle one request line; [`Stop] after a shutdown request. *)

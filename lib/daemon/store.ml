@@ -77,7 +77,7 @@ let default_cap = 100_000
 (* ------------------------------------------------------------------ *)
 
 (* bump when the persisted layout itself changes *)
-let format_version = "jahob-store/2"
+let format_version = "jahob-store/3"
 
 (* every probe pokes at a convention the canonical printer encodes:
    integer vs set comparison tokens, set difference vs minus, binder
@@ -95,15 +95,22 @@ let probe_texts =
     "card {z. z : A} = 1";
   ]
 
-let fingerprint_memo = ref None
+(* memoized per WS1S engine: the engine is a process-wide default that
+   tests (and [--mona-engine]) flip within one process, and verdicts
+   decided by one automata engine must never be replayed under the
+   other *)
+let fingerprint_memo : (string * string) option ref = ref None
 
 (** The fingerprint of the digest scheme in force in this binary. *)
 let fingerprint () : string =
+  let engine = Mona.Ws1s.engine_name (Mona.Ws1s.current_default_engine ()) in
   match !fingerprint_memo with
-  | Some fp -> fp
-  | None ->
+  | Some (e, fp) when e = engine -> fp
+  | _ ->
     let buf = Buffer.create 512 in
     Buffer.add_string buf format_version;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf ("mona-engine:" ^ engine);
     List.iter
       (fun text ->
         match Parser.parse_opt text with
@@ -121,7 +128,7 @@ let fingerprint () : string =
           Buffer.add_string buf ("\nunparseable:" ^ text))
       probe_texts;
     let fp = Digest.to_hex (Digest.string (Buffer.contents buf)) in
-    fingerprint_memo := Some fp;
+    fingerprint_memo := Some (engine, fp);
     fp
 
 (* ------------------------------------------------------------------ *)
@@ -129,12 +136,13 @@ let fingerprint () : string =
 (* ------------------------------------------------------------------ *)
 
 (* magic line first, so `head -1` identifies the file and a truncated
-   or foreign file fails before Marshal ever runs.  The v1 magic (no
-   dependency index, different [persisted] layout) is recognized only to
-   be refused with a precise reason — running Marshal against a v1
-   payload with the v2 type would be undefined behavior, so the version
-   check must happen on raw bytes. *)
-let magic = "jahob-verdict-store/2\n"
+   or foreign file fails before Marshal ever runs.  Older magics (v1:
+   no dependency index; v2: no WS1S-engine key in [stored_method]) are
+   recognized only to be refused with a precise reason — running
+   Marshal against an old payload with the current type would be
+   undefined behavior, so the version check must happen on raw bytes. *)
+let magic = "jahob-verdict-store/3\n"
+let magic_v2 = "jahob-verdict-store/2\n"
 let magic_v1 = "jahob-verdict-store\n"
 
 type persisted = {
@@ -160,12 +168,18 @@ let read_file (path : string) : (persisted, string) result =
             let (p : persisted) = Marshal.from_channel ic in
             Ok p
           end
+          else if String.length m >= String.length magic_v2
+                  && String.sub m 0 (String.length magic_v2) = magic_v2
+          then
+            Error
+              "version skew: store format v2 (no WS1S-engine key), this \
+               binary writes v3"
           else if String.length m >= String.length magic_v1
                   && String.sub m 0 (String.length magic_v1) = magic_v1
           then
             Error
               "version skew: store format v1 (no dependency index), this \
-               binary writes v2"
+               binary writes v3"
           else Error "bad magic (not a verdict store)"
         with
         | End_of_file -> Error "truncated store file"

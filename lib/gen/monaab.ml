@@ -1,0 +1,108 @@
+(** BDD-vs-dense differential campaign for the WS1S automata engine.
+
+    Both engines decide the same generated ws1s-fragment sequents through
+    {!Fca.route_sequent}'s translation, each under its own deadline
+    budget.  Wherever both runs settle (neither expires), the verdicts
+    must be identical — the symbolic engine changes the representation of
+    transition relations, never the language of any automaton.  A timeout
+    is the one budget-dependent outcome, so an expiry on either side is
+    counted but never flagged; for a fixed seed a campaign run is
+    deterministic. *)
+
+type config = {
+  ab_seed : int;
+  ab_count : int; (* sequents generated *)
+  ab_size : int; (* generator fuel *)
+  ab_budget_s : float; (* per-decision deadline, each engine *)
+}
+
+let default_config =
+  { ab_seed = 42; ab_count = 400; ab_size = 3; ab_budget_s = 2.0 }
+
+type disagreement = {
+  d_index : int; (* which generated sequent *)
+  d_sequent : Logic.Sequent.t;
+  d_why : string;
+}
+
+type report = {
+  attempted : int;
+  admitted : int; (* sequents the MONA route accepts *)
+  valid : int; (* BDD-engine verdicts *)
+  invalid : int;
+  expired : int; (* either engine ran out of budget *)
+  disagreements : disagreement list;
+}
+
+type outcome = Valid | Invalid | Expired
+
+let outcome_name = function
+  | Valid -> "valid"
+  | Invalid -> "invalid"
+  | Expired -> "expired"
+
+let decide (engine : Mona.Ws1s.engine) ~(budget_s : float)
+    (formula : Mona.Ws1s.t) ~(fo : string list) : outcome =
+  let token = Deadline.make ~deadline_in:budget_s () in
+  match
+    Deadline.with_token token (fun () ->
+        Mona.Ws1s.valid ~engine ~fo formula)
+  with
+  | true -> Valid
+  | false -> Invalid
+  | exception Deadline.Expired -> Expired
+
+let run ?(config = default_config) () : report =
+  let frag = Formgen.Ws1s in
+  let admitted = ref 0
+  and valid = ref 0
+  and invalid = ref 0
+  and expired = ref 0 in
+  let disagreements = ref [] in
+  let flag n s why =
+    disagreements :=
+      { d_index = n; d_sequent = s; d_why = why } :: !disagreements
+  in
+  for n = 0 to config.ab_count - 1 do
+    let s =
+      Formgen.sequent_of_seed frag ~seed:config.ab_seed ~size:config.ab_size n
+    in
+    match Fca.route_sequent s with
+    | Error _ -> ()
+    | Ok (formula, fo) ->
+      incr admitted;
+      let bdd = decide Mona.Ws1s.Bdd ~budget_s:config.ab_budget_s formula ~fo in
+      let dense =
+        decide Mona.Ws1s.Dense ~budget_s:config.ab_budget_s formula ~fo
+      in
+      (match bdd with
+      | Valid -> incr valid
+      | Invalid -> incr invalid
+      | Expired -> ());
+      if bdd = Expired || dense = Expired then incr expired
+      else if bdd <> dense then
+        flag n s
+          (Printf.sprintf "engines disagree: bdd=%s dense=%s"
+             (outcome_name bdd) (outcome_name dense))
+  done;
+  { attempted = config.ab_count;
+    admitted = !admitted;
+    valid = !valid;
+    invalid = !invalid;
+    expired = !expired;
+    disagreements = List.rev !disagreements;
+  }
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf "@[<v>mona A/B: %d generated, %d on the MONA route@,"
+    r.attempted r.admitted;
+  Format.fprintf ppf
+    "bdd verdicts: %d valid, %d invalid; %d pair(s) expired@," r.valid
+    r.invalid r.expired;
+  Format.fprintf ppf "disagreements: %d@," (List.length r.disagreements);
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "  #%d %s@,    %a@," d.d_index d.d_why
+        Logic.Sequent.pp d.d_sequent)
+    r.disagreements;
+  Format.fprintf ppf "@]"

@@ -29,7 +29,11 @@ let make ~width ~n ~initial ~accept f =
   let letters = 1 lsl width in
   {
     width;
-    trans = Array.init n (fun s -> Array.init letters (fun l -> f s l));
+    trans =
+      Array.init n (fun s ->
+          (* one poll per state row: a row is 2^width cells *)
+          Deadline.check ();
+          Array.init letters (fun l -> f s l));
     accept = Array.init n accept;
     initial;
   }
@@ -77,6 +81,8 @@ let product (op : bool -> bool -> bool) (a : t) (b : t) : t =
       trans_acc := (i, row) :: !trans_acc;
       accept_acc := (i, op a.accept.(sa) b.accept.(sb)) :: !accept_acc;
       for l = 0 to letters - 1 do
+        (* wide alphabets make a single row a multi-second scan *)
+        if l land 0xffff = 0 then Deadline.check ();
         row.(l) <- explore (a.trans.(sa).(l), b.trans.(sb).(l))
       done;
       i
@@ -111,7 +117,9 @@ let insert_track (a : t) (pos : int) : t =
     width = a.width + 1;
     trans =
       Array.map
-        (fun row -> Array.init letters' (fun l' -> row.(old_letter l')))
+        (fun row ->
+          Deadline.check ();
+          Array.init letters' (fun l' -> row.(old_letter l')))
         a.trans;
     accept = Array.copy a.accept;
     initial = a.initial;
@@ -141,6 +149,7 @@ let project (a : t) (pos : int) : t =
   Array.iteri (fun i acc -> zero_accept.(i) <- acc) a.accept;
   while !changed do
     changed := false;
+    Deadline.check ();
     for s = 0 to num_states a - 1 do
       if not zero_accept.(s) then begin
         let l0 = lift 0 0 and l1 = lift 0 1 in
@@ -159,10 +168,14 @@ let project (a : t) (pos : int) : t =
   let trans_acc = ref [] in
   let accept_acc = ref [] in
   let rec explore set =
-    let key = Iset.elements set in
+    (* key on a sorted array, not [Iset.elements]: equal sets hash
+       equal, and the array is a third the size of a boxed list *)
+    let key = Array.of_seq (Iset.to_seq set) in
     match Hashtbl.find_opt index key with
     | Some i -> i
     | None ->
+      (* one poll per fresh subset state: blowup happens here *)
+      Deadline.check ();
       let i = !next_id in
       incr next_id;
       Hashtbl.add index key i;
@@ -171,6 +184,7 @@ let project (a : t) (pos : int) : t =
       accept_acc := (i, acc) :: !accept_acc;
       trans_acc := (i, row) :: !trans_acc;
       for l' = 0 to letters' - 1 do
+        if l' land 0xffff = 0 then Deadline.check ();
         let succ =
           Iset.fold
             (fun s acc ->
@@ -199,31 +213,39 @@ let minimize (a : t) : t =
   let letters = num_letters a in
   (* start: partition by acceptance *)
   let cls = Array.init n (fun s -> if a.accept.(s) then 1 else 0) in
+  (* Moore refinement one letter at a time: a state's signature is the
+     pair (its class, its successor class under the current letter), so
+     no per-state 2^width array is ever allocated.  A full sweep over
+     the alphabet with no split means the partition is stable under
+     every letter at once — the same fixpoint as the monolithic
+     signature, reached with O(1) allocation per state *)
+  let ncls = ref (1 + Array.fold_left max (-1) cls) in
+  let new_cls = Array.make n 0 in
   let changed = ref true in
   while !changed do
     changed := false;
-    (* signature of a state: (class, successor classes) *)
-    let sigs = Hashtbl.create 64 in
-    let new_cls = Array.make n 0 in
-    let next_class = ref 0 in
-    for s = 0 to n - 1 do
-      let signature =
-        (cls.(s), Array.init letters (fun l -> cls.(a.trans.(s).(l))))
-      in
-      match Hashtbl.find_opt sigs signature with
-      | Some c -> new_cls.(s) <- c
-      | None ->
-        Hashtbl.add sigs signature !next_class;
-        new_cls.(s) <- !next_class;
-        incr next_class
-    done;
-    let count a =
-      1 + Array.fold_left max (-1) a
-    in
-    (* refinement only ever splits classes, so the partition is stable
-       exactly when the class count stops growing *)
-    if count new_cls <> count cls then changed := true;
-    Array.blit new_cls 0 cls 0 n
+    Deadline.check ();
+    for l = 0 to letters - 1 do
+      if l land 0xffff = 0 then Deadline.check ();
+      let sigs = Hashtbl.create (2 * !ncls) in
+      let next_class = ref 0 in
+      for s = 0 to n - 1 do
+        let signature = (cls.(s), cls.(a.trans.(s).(l))) in
+        match Hashtbl.find_opt sigs signature with
+        | Some c -> new_cls.(s) <- c
+        | None ->
+          Hashtbl.add sigs signature !next_class;
+          new_cls.(s) <- !next_class;
+          incr next_class
+      done;
+      (* refinement only ever splits classes, so the partition moved
+         exactly when the class count grew *)
+      if !next_class <> !ncls then begin
+        changed := true;
+        ncls := !next_class
+      end;
+      Array.blit new_cls 0 cls 0 n
+    done
   done;
   let nclasses = 1 + Array.fold_left max 0 cls in
   let repr = Array.make nclasses (-1) in
@@ -254,6 +276,7 @@ let witness (a : t) : int list option =
   Queue.add a.initial queue;
   let found = ref None in
   while !found = None && not (Queue.is_empty queue) do
+    Deadline.check ();
     let s = Queue.pop queue in
     if a.accept.(s) then found := Some s
     else

@@ -117,123 +117,224 @@ let alpha_rename (f : t) : t =
 (* A letter is an int; [bit l i] is track i's bit. *)
 let bit l i = (l lsr i) land 1
 
-(* 2-state automaton: accept-loop while [ok letter], dead otherwise. *)
-let invariant_automaton ~width ok =
-  Dfa.make ~width ~n:2 ~initial:0
-    ~accept:(fun s -> s = 0)
-    (fun s l -> if s = 0 && ok l then 0 else 1)
+(* Engine-neutral description of an atomic automaton: explicit states
+   with a transition function over full-width letters, plus the tracks
+   the transitions actually read.  The dense engine samples every
+   letter; the symbolic engine samples only assignments of [ps_deps],
+   which is what keeps predicate automata O(1) in the formula width. *)
+type pred_spec = {
+  ps_n : int;
+  ps_initial : int;
+  ps_accept : int -> bool;
+  ps_tr : int -> int -> int; (* state -> letter -> state *)
+  ps_deps : int list; (* tracks read, sorted ascending *)
+}
 
-let compile_pred ~width ~pos (p : pred) : Dfa.t =
+(* 2-state automaton: accept-loop while [ok letter], dead otherwise. *)
+let invariant_spec ~deps ok =
+  {
+    ps_n = 2;
+    ps_initial = 0;
+    ps_accept = (fun s -> s = 0);
+    ps_tr = (fun s l -> if s = 0 && ok l then 0 else 1);
+    ps_deps = deps;
+  }
+
+let pred_spec ~pos (p : pred) : pred_spec =
   let tr v = pos v in
+  let deps vs = List.sort_uniq compare (List.map tr vs) in
   match p with
   | Sub (x, y) ->
-    invariant_automaton ~width (fun l -> bit l (tr x) land lnot (bit l (tr y)) = 0)
+    invariant_spec ~deps:(deps [ x; y ]) (fun l ->
+        bit l (tr x) land lnot (bit l (tr y)) = 0)
   | EqS (x, y) ->
-    invariant_automaton ~width (fun l -> bit l (tr x) = bit l (tr y))
+    invariant_spec ~deps:(deps [ x; y ]) (fun l ->
+        bit l (tr x) = bit l (tr y))
   | EqUnion (x, y, z) ->
-    invariant_automaton ~width (fun l ->
+    invariant_spec ~deps:(deps [ x; y; z ]) (fun l ->
         bit l (tr x) = bit l (tr y) lor bit l (tr z))
   | EqInter (x, y, z) ->
-    invariant_automaton ~width (fun l ->
+    invariant_spec ~deps:(deps [ x; y; z ]) (fun l ->
         bit l (tr x) = bit l (tr y) land bit l (tr z))
   | EqDiff (x, y, z) ->
-    invariant_automaton ~width (fun l ->
+    invariant_spec ~deps:(deps [ x; y; z ]) (fun l ->
         bit l (tr x) = bit l (tr y) land lnot (bit l (tr z)) land 1)
-  | IsEmpty x -> invariant_automaton ~width (fun l -> bit l (tr x) = 0)
+  | IsEmpty x ->
+    invariant_spec ~deps:(deps [ x ]) (fun l -> bit l (tr x) = 0)
   | In (x, y) ->
     (* with x a singleton, x subseteq y is membership *)
-    invariant_automaton ~width (fun l -> bit l (tr x) land lnot (bit l (tr y)) = 0)
+    invariant_spec ~deps:(deps [ x; y ]) (fun l ->
+        bit l (tr x) land lnot (bit l (tr y)) = 0)
   | EqF (x, y) ->
-    invariant_automaton ~width (fun l -> bit l (tr x) = bit l (tr y))
+    invariant_spec ~deps:(deps [ x; y ]) (fun l ->
+        bit l (tr x) = bit l (tr y))
   | SuccF (x, y) ->
     (* x = y + 1: y's position immediately precedes x's.
        states: 0 = nothing seen, 1 = y seen (x expected now), 2 = done,
        3 = dead *)
-    Dfa.make ~width ~n:4 ~initial:0
-      ~accept:(fun s -> s = 2)
-      (fun s l ->
-        let bx = bit l (tr x) and by = bit l (tr y) in
-        match s with
-        | 0 ->
-          if bx = 0 && by = 0 then 0
-          else if bx = 0 && by = 1 then 1
-          else 3
-        | 1 -> if bx = 1 && by = 0 then 2 else 3
-        | 2 -> if bx = 0 && by = 0 then 2 else 3
-        | _ -> 3)
+    {
+      ps_n = 4;
+      ps_initial = 0;
+      ps_accept = (fun s -> s = 2);
+      ps_tr =
+        (fun s l ->
+          let bx = bit l (tr x) and by = bit l (tr y) in
+          match s with
+          | 0 ->
+            if bx = 0 && by = 0 then 0
+            else if bx = 0 && by = 1 then 1
+            else 3
+          | 1 -> if bx = 1 && by = 0 then 2 else 3
+          | 2 -> if bx = 0 && by = 0 then 2 else 3
+          | _ -> 3);
+      ps_deps = deps [ x; y ];
+    }
   | LessF (x, y) ->
     (* x strictly before y *)
-    Dfa.make ~width ~n:4 ~initial:0
-      ~accept:(fun s -> s = 2)
-      (fun s l ->
-        let bx = bit l (tr x) and by = bit l (tr y) in
-        match s with
-        | 0 ->
-          if bx = 0 && by = 0 then 0
-          else if bx = 1 && by = 0 then 1
-          else 3
-        | 1 ->
-          if bx = 0 && by = 1 then 2 else if bx = 0 && by = 0 then 1 else 3
-        | 2 -> if bx = 0 && by = 0 then 2 else 3
-        | _ -> 3)
+    {
+      ps_n = 4;
+      ps_initial = 0;
+      ps_accept = (fun s -> s = 2);
+      ps_tr =
+        (fun s l ->
+          let bx = bit l (tr x) and by = bit l (tr y) in
+          match s with
+          | 0 ->
+            if bx = 0 && by = 0 then 0
+            else if bx = 1 && by = 0 then 1
+            else 3
+          | 1 ->
+            if bx = 0 && by = 1 then 2
+            else if bx = 0 && by = 0 then 1
+            else 3
+          | 2 -> if bx = 0 && by = 0 then 2 else 3
+          | _ -> 3);
+      ps_deps = deps [ x; y ];
+    }
   | LeqF (x, y) ->
     (* x <= y: either same position or x before y *)
-    Dfa.make ~width ~n:4 ~initial:0
-      ~accept:(fun s -> s = 2)
-      (fun s l ->
-        let bx = bit l (tr x) and by = bit l (tr y) in
-        match s with
-        | 0 ->
-          if bx = 0 && by = 0 then 0
-          else if bx = 1 && by = 1 then 2
-          else if bx = 1 && by = 0 then 1
-          else 3
-        | 1 ->
-          if bx = 0 && by = 1 then 2 else if bx = 0 && by = 0 then 1 else 3
-        | 2 -> if bx = 0 && by = 0 then 2 else 3
-        | _ -> 3)
+    {
+      ps_n = 4;
+      ps_initial = 0;
+      ps_accept = (fun s -> s = 2);
+      ps_tr =
+        (fun s l ->
+          let bx = bit l (tr x) and by = bit l (tr y) in
+          match s with
+          | 0 ->
+            if bx = 0 && by = 0 then 0
+            else if bx = 1 && by = 1 then 2
+            else if bx = 1 && by = 0 then 1
+            else 3
+          | 1 ->
+            if bx = 0 && by = 1 then 2
+            else if bx = 0 && by = 0 then 1
+            else 3
+          | 2 -> if bx = 0 && by = 0 then 2 else 3
+          | _ -> 3);
+      ps_deps = deps [ x; y ];
+    }
   | ZeroF x ->
     (* x's singleton is position 0 *)
-    Dfa.make ~width ~n:3 ~initial:0
-      ~accept:(fun s -> s = 1)
-      (fun s l ->
-        let bx = bit l (tr x) in
-        match s with
-        | 0 -> if bx = 1 then 1 else 2
-        | 1 -> if bx = 0 then 1 else 2
-        | _ -> 2)
+    {
+      ps_n = 3;
+      ps_initial = 0;
+      ps_accept = (fun s -> s = 1);
+      ps_tr =
+        (fun s l ->
+          let bx = bit l (tr x) in
+          match s with
+          | 0 -> if bx = 1 then 1 else 2
+          | 1 -> if bx = 0 then 1 else 2
+          | _ -> 2);
+      ps_deps = deps [ x ];
+    }
   | BoolVar x ->
     (* 0 : X *)
-    Dfa.make ~width ~n:3 ~initial:0
-      ~accept:(fun s -> s = 1)
-      (fun s l ->
-        let bx = bit l (tr x) in
-        match s with
-        | 0 -> if bx = 1 then 1 else 2
-        | 1 -> 1
-        | _ -> 2)
+    {
+      ps_n = 3;
+      ps_initial = 0;
+      ps_accept = (fun s -> s = 1);
+      ps_tr =
+        (fun s l ->
+          let bx = bit l (tr x) in
+          match s with
+          | 0 -> if bx = 1 then 1 else 2
+          | 1 -> 1
+          | _ -> 2);
+      ps_deps = deps [ x ];
+    }
 
 (* singleton(X): exactly one position in X *)
+let singleton_spec ~track =
+  {
+    ps_n = 3;
+    ps_initial = 0;
+    ps_accept = (fun s -> s = 1);
+    ps_tr =
+      (fun s l ->
+        let b = bit l track in
+        match s with
+        | 0 -> if b = 1 then 1 else 0
+        | 1 -> if b = 1 then 2 else 1
+        | _ -> 2);
+    ps_deps = [ track ];
+  }
+
+let dense_of_spec ~width (sp : pred_spec) : Dfa.t =
+  Dfa.make ~width ~n:sp.ps_n ~initial:sp.ps_initial ~accept:sp.ps_accept
+    sp.ps_tr
+
+let sym_of_spec man ~width (sp : pred_spec) : Sdfa.t =
+  Sdfa.make ~man ~width ~n:sp.ps_n ~initial:sp.ps_initial
+    ~accept:sp.ps_accept ~deps:sp.ps_deps sp.ps_tr
+
+let compile_pred ~width ~pos (p : pred) : Dfa.t =
+  dense_of_spec ~width (pred_spec ~pos p)
+
 let singleton_automaton ~width ~track =
-  Dfa.make ~width ~n:3 ~initial:0
-    ~accept:(fun s -> s = 1)
-    (fun s l ->
-      let b = bit l track in
-      match s with
-      | 0 -> if b = 1 then 1 else 0
-      | 1 -> if b = 1 then 2 else 1
-      | _ -> 2)
+  dense_of_spec ~width (singleton_spec ~track)
 
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
+
+(* which automata engine decides a formula: [Bdd] is the symbolic
+   MTBDD-backed engine, [Dense] the original 2^width-table engine (kept
+   for differential testing, exactly as Fol keeps [Naive]) *)
+type engine = Bdd | Dense
+
+let engine_name = function Bdd -> "bdd" | Dense -> "dense"
+
+let engine_of_name = function
+  | "bdd" -> Some Bdd
+  | "dense" -> Some Dense
+  | _ -> None
+
+(* the process-wide default, settable from the CLI escape hatch
+   ([jahob verify --mona-engine dense]); read by prover-pool domains *)
+let default_engine : engine Atomic.t = Atomic.make Bdd
+let set_default_engine (e : engine) : unit = Atomic.set default_engine e
+let current_default_engine () : engine = Atomic.get default_engine
+
+(* high-water mark of automaton states across all decisions, for the
+   bench tables; Trace counters are summing, so a max lives here *)
+let peak = Atomic.make 0
+
+let rec note_peak n =
+  let cur = Atomic.get peak in
+  if n > cur && not (Atomic.compare_and_set peak cur n) then note_peak n
+
+let peak_states () = Atomic.get peak
+let reset_peak_states () = Atomic.set peak 0
 
 type compiled = {
   dfa : Dfa.t;
   tracks : var array; (* track i = tracks.(i) *)
 }
 
-let compile (f : t) : compiled =
+(* alpha-rename and assign every variable a global track index *)
+let track_assignment (f : t) : t * var array * int * (var -> int) =
   let f = alpha_rename f in
   let all_vars =
     let seen = Hashtbl.create 16 in
@@ -256,38 +357,96 @@ let compile (f : t) : compiled =
     in
     find 0
   in
+  (f, tracks, width, pos)
+
+let compile (f : t) : compiled =
+  let f, tracks, width, pos = track_assignment f in
   let rec go f : Dfa.t =
-    match f with
-    | True -> Dfa.top width
-    | False -> Dfa.bottom width
-    | Pred p -> compile_pred ~width ~pos p
-    | Not g -> Dfa.complement (go g)
-    | And gs ->
-      List.fold_left
-        (fun acc g -> Dfa.minimize (Dfa.inter acc (go g)))
-        (Dfa.top width) gs
-    | Or gs ->
-      List.fold_left
-        (fun acc g -> Dfa.minimize (Dfa.union acc (go g)))
-        (Dfa.bottom width) gs
-    | Impl (a, b) -> go (Or [ Not a; b ])
-    | Iff (a, b) -> go (And [ Impl (a, b); Impl (b, a) ])
-    | Ex2 (x, g) ->
-      let d = go g in
-      let p = pos x in
-      Dfa.minimize (Dfa.insert_track (Dfa.project d p) p)
-    | All2 (x, g) -> go (Not (Ex2 (x, Not g)))
-    | Ex1 (x, g) ->
-      let d =
-        Dfa.inter (singleton_automaton ~width ~track:(pos x)) (go g)
-      in
-      let p = pos x in
-      Dfa.minimize (Dfa.insert_track (Dfa.project d p) p)
-    | All1 (x, g) ->
-      (* forall x ranges over singletons only *)
-      go (Not (Ex1 (x, Not g)))
+    let d =
+      match f with
+      | True -> Dfa.top width
+      | False -> Dfa.bottom width
+      | Pred p -> compile_pred ~width ~pos p
+      | Not g -> Dfa.complement (go g)
+      | And gs ->
+        List.fold_left
+          (fun acc g -> Dfa.minimize (Dfa.inter acc (go g)))
+          (Dfa.top width) gs
+      | Or gs ->
+        List.fold_left
+          (fun acc g -> Dfa.minimize (Dfa.union acc (go g)))
+          (Dfa.bottom width) gs
+      | Impl (a, b) -> go (Or [ Not a; b ])
+      | Iff (a, b) -> go (And [ Impl (a, b); Impl (b, a) ])
+      | Ex2 (x, g) ->
+        let d = go g in
+        let p = pos x in
+        Dfa.minimize (Dfa.insert_track (Dfa.project d p) p)
+      | All2 (x, g) -> go (Not (Ex2 (x, Not g)))
+      | Ex1 (x, g) ->
+        let d =
+          Dfa.inter (singleton_automaton ~width ~track:(pos x)) (go g)
+        in
+        let p = pos x in
+        Dfa.minimize (Dfa.insert_track (Dfa.project d p) p)
+      | All1 (x, g) ->
+        (* forall x ranges over singletons only *)
+        go (Not (Ex1 (x, Not g)))
+    in
+    note_peak (Dfa.num_states d);
+    d
   in
   { dfa = Dfa.minimize (go f); tracks }
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic compilation (the BDD engine)                               *)
+(* ------------------------------------------------------------------ *)
+
+type compiled_sym = {
+  sdfa : Sdfa.t;
+  s_tracks : var array;
+  man : Bdd.manager; (* per-compilation: no cross-thread sharing *)
+}
+
+(* Same structure as the dense compiler, with one structural
+   improvement: tracks are global BDD variables, so a quantifier is
+   [Sdfa.quantify] {e in place} — the dense engine's project /
+   re-insert width realignment (a full-automaton rebuild at every
+   binder) has no symbolic counterpart. *)
+let compile_sym (f : t) : compiled_sym =
+  let f, tracks, width, pos = track_assignment f in
+  let man = Bdd.manager () in
+  let rec go f : Sdfa.t =
+    let d =
+      match f with
+      | True -> Sdfa.top man width
+      | False -> Sdfa.bottom man width
+      | Pred p -> sym_of_spec man ~width (pred_spec ~pos p)
+      | Not g -> Sdfa.complement (go g)
+      | And gs ->
+        List.fold_left
+          (fun acc g -> Sdfa.minimize (Sdfa.inter acc (go g)))
+          (Sdfa.top man width) gs
+      | Or gs ->
+        List.fold_left
+          (fun acc g -> Sdfa.minimize (Sdfa.union acc (go g)))
+          (Sdfa.bottom man width) gs
+      | Impl (a, b) -> go (Or [ Not a; b ])
+      | Iff (a, b) -> go (And [ Impl (a, b); Impl (b, a) ])
+      | Ex2 (x, g) -> Sdfa.minimize (Sdfa.quantify (go g) (pos x))
+      | All2 (x, g) -> go (Not (Ex2 (x, Not g)))
+      | Ex1 (x, g) ->
+        let d =
+          Sdfa.inter (sym_of_spec man ~width (singleton_spec ~track:(pos x)))
+            (go g)
+        in
+        Sdfa.minimize (Sdfa.quantify d (pos x))
+      | All1 (x, g) -> go (Not (Ex1 (x, Not g)))
+    in
+    note_peak (Sdfa.num_states d);
+    d
+  in
+  { sdfa = Sdfa.minimize (go f); s_tracks = tracks; man }
 
 (* free first-order variables must be constrained to singletons *)
 let with_fo_constraints (c : compiled) (fo : var list) : Dfa.t =
@@ -299,6 +458,26 @@ let with_fo_constraints (c : compiled) (fo : var list) : Dfa.t =
        (fun acc (i, _) ->
          Dfa.minimize (Dfa.inter acc (singleton_automaton ~width ~track:i)))
        c.dfa
+
+let with_fo_constraints_sym (c : compiled_sym) (fo : var list) : Sdfa.t =
+  let width = Array.length c.s_tracks in
+  Array.to_list c.s_tracks
+  |> List.mapi (fun i v -> (i, v))
+  |> List.filter (fun (_, v) -> List.mem v fo)
+  |> List.fold_left
+       (fun acc (i, _) ->
+         Sdfa.minimize
+           (Sdfa.inter acc (sym_of_spec c.man ~width (singleton_spec ~track:i))))
+       c.sdfa
+
+(* publish the symbolic engine's counters after a decision: total nodes
+   hash-consed, computed-cache traffic, and this decision's peak state
+   count (all summing — the process-wide max is [peak_states]) *)
+let publish_sym_counters (man : Bdd.manager) : unit =
+  Trace.add "mona.bdd.unique" (Bdd.unique_size man);
+  let lookups, hits = Bdd.cache_stats man in
+  Trace.add "mona.bdd.cache.lookups" lookups;
+  Trace.add "mona.bdd.cache.hits" hits
 
 (* ------------------------------------------------------------------ *)
 (* Decision interface                                                  *)
@@ -314,20 +493,48 @@ let decode_word (tracks : var array) (word : int list) : model =
            |> List.filter_map Fun.id ))
 
 (** Satisfiability; [fo] lists the free first-order variables (constrained
-    to singletons).  Returns a satisfying assignment when satisfiable. *)
-let satisfiable ?(fo = []) (f : t) : model option =
-  let c = compile f in
-  let d = with_fo_constraints c fo in
-  match Dfa.witness d with
-  | None -> None
-  | Some w -> Some (decode_word c.tracks w)
+    to singletons).  Returns a satisfying assignment when satisfiable.
+    [engine] defaults to the process-wide {!set_default_engine} choice. *)
+let satisfiable ?engine ?(fo = []) (f : t) : model option =
+  let engine =
+    match engine with Some e -> e | None -> current_default_engine ()
+  in
+  match engine with
+  | Dense ->
+    let c = compile f in
+    let d = with_fo_constraints c fo in
+    (match Dfa.witness d with
+    | None -> None
+    | Some w -> Some (decode_word c.tracks w))
+  | Bdd ->
+    let c = compile_sym f in
+    let d = with_fo_constraints_sym c fo in
+    let r =
+      match Sdfa.witness d with
+      | None -> None
+      | Some w -> Some (decode_word c.s_tracks w)
+    in
+    publish_sym_counters c.man;
+    r
 
 (** Validity over all assignments (free first-order variables range over
     positions, second-order over finite sets). *)
-let valid ?(fo = []) (f : t) : bool =
-  let c = compile (Not f) in
-  let d = with_fo_constraints c fo in
-  Dfa.is_empty d
+let valid ?engine ?(fo = []) (f : t) : bool =
+  let engine =
+    match engine with Some e -> e | None -> current_default_engine ()
+  in
+  match engine with
+  | Dense ->
+    let c = compile (Not f) in
+    let d = with_fo_constraints c fo in
+    Dfa.is_empty d
+  | Bdd ->
+    let c = compile_sym (Not f) in
+    let d = with_fo_constraints_sym c fo in
+    let r = Sdfa.is_empty d in
+    publish_sym_counters c.man;
+    r
 
 (** A countermodel when not valid. *)
-let countermodel ?(fo = []) (f : t) : model option = satisfiable ~fo (Not f)
+let countermodel ?engine ?(fo = []) (f : t) : model option =
+  satisfiable ?engine ~fo (Not f)

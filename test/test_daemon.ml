@@ -131,7 +131,7 @@ let test_store_fingerprint_mismatch () =
       f_methods = [||] }
   in
   Out_channel.with_open_bin p (fun oc ->
-      Out_channel.output_string oc "jahob-verdict-store/2\n";
+      Out_channel.output_string oc "jahob-verdict-store/3\n";
       Marshal.to_channel oc fake []);
   let logged = ref [] in
   let s = Daemon.Store.load ~log:(fun m -> logged := m :: !logged) p in
@@ -177,13 +177,62 @@ let test_store_v1_version_skew () =
   Alcotest.(check int) "v1 entries refused" 0 (Daemon.Store.entries s);
   Alcotest.(check int) "v1 method records refused" 0
     (Daemon.Store.method_count s);
-  (* the cold store is fully usable and rewrites the file as v2 *)
+  (* the cold store is fully usable and rewrites the file as v3 *)
   Daemon.Store.add s d1 Sequent.Valid None;
   Daemon.Store.save s;
   let s' = Daemon.Store.load ~log:quiet p in
-  Alcotest.(check bool) "rewritten as v2" true
+  Alcotest.(check bool) "rewritten as v3" true
     (Daemon.Store.status s' = Daemon.Store.Warm 1);
   Sys.remove p
+
+(* a v2 store (no WS1S-engine key in the method records) carries Marshal
+   payloads of the older [stored_method] layout; it must be refused on
+   its raw magic line with a version-skew reason, never unmarshalled *)
+let test_store_v2_version_skew () =
+  let p = fresh_path () in
+  Out_channel.with_open_bin p (fun oc ->
+      Out_channel.output_string oc "jahob-verdict-store/2\n";
+      Out_channel.output_string oc "opaque v2 payload, never unmarshalled");
+  let logged = ref [] in
+  let s = Daemon.Store.load ~log:(fun m -> logged := m :: !logged) p in
+  (match Daemon.Store.status s with
+  | Daemon.Store.Cold why ->
+    Alcotest.(check bool) "reason names the version skew" true
+      (has_substring why "version skew");
+    Alcotest.(check bool) "reason names v2" true (has_substring why "v2")
+  | st ->
+    Alcotest.failf "expected cold start, got %s"
+      (Daemon.Store.status_to_string st));
+  Alcotest.(check bool) "skew logged" true (!logged <> []);
+  Alcotest.(check int) "v2 entries refused" 0 (Daemon.Store.entries s);
+  Sys.remove p
+
+(* a store written under one WS1S engine must be a fingerprint-mismatch
+   cold start under the other, and warm again under the writing engine:
+   BDD and dense verdicts never mix through the store *)
+let test_store_engine_fingerprint () =
+  let saved = Mona.Ws1s.current_default_engine () in
+  Fun.protect
+    ~finally:(fun () -> Mona.Ws1s.set_default_engine saved)
+    (fun () ->
+      let p = fresh_path () in
+      Mona.Ws1s.set_default_engine Mona.Ws1s.Bdd;
+      let s = Daemon.Store.load ~log:quiet p in
+      Daemon.Store.add s d1 Sequent.Valid None;
+      Daemon.Store.save s;
+      Mona.Ws1s.set_default_engine Mona.Ws1s.Dense;
+      (match Daemon.Store.status (Daemon.Store.load ~log:quiet p) with
+      | Daemon.Store.Cold why ->
+        Alcotest.(check bool) "reason names the fingerprint" true
+          (has_substring why "fingerprint")
+      | st ->
+        Alcotest.failf "expected cold start under dense, got %s"
+          (Daemon.Store.status_to_string st));
+      Mona.Ws1s.set_default_engine Mona.Ws1s.Bdd;
+      Alcotest.(check bool) "warm again under the writing engine" true
+        (Daemon.Store.status (Daemon.Store.load ~log:quiet p)
+        = Daemon.Store.Warm 1);
+      Sys.remove p)
 
 (* the schema-v2 method/dependency index survives save/load *)
 let test_store_method_records () =
@@ -195,6 +244,7 @@ let test_store_method_records () =
       sm_digest = "dg";
       sm_ctx = "ctx";
       sm_infer = true;
+      sm_mona = "bdd";
       sm_deps = [ ("ct:C.n", "d1"); ("inv:C", "d0") ];
       sm_verdicts = [ ("postcondition of m", "valid", "smt") ] }
   in
@@ -658,6 +708,10 @@ let suite =
           test_store_fingerprint_mismatch;
         Alcotest.test_case "store: v1 version skew" `Quick
           test_store_v1_version_skew;
+        Alcotest.test_case "store: v2 version skew" `Quick
+          test_store_v2_version_skew;
+        Alcotest.test_case "store: engine-keyed fingerprint" `Quick
+          test_store_engine_fingerprint;
         Alcotest.test_case "store: method records round-trip" `Quick
           test_store_method_records;
         Alcotest.test_case "store: kill -9 mid-write" `Quick

@@ -2,6 +2,8 @@
     procedure. *)
 
 module Dfa = Mona.Dfa
+module Bdd = Mona.Bdd
+module Sdfa = Mona.Sdfa
 module Ws1s = Mona.Ws1s
 
 (* ------------------------------------------------------------------ *)
@@ -77,6 +79,120 @@ let test_dfa_project () =
   let q = Dfa.project track1_nonempty 1 in
   Alcotest.(check bool) "zero closure accepts short words" true
     (Dfa.accepts q [])
+
+(* ------------------------------------------------------------------ *)
+(* BDD kernel                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* hash consing makes semantic equality physical: every identity below
+   is checked with [==] *)
+let test_bdd_canonicity () =
+  let man = Bdd.manager () in
+  let x0 = Bdd.bvar man 0 and x1 = Bdd.bvar man 1 and x2 = Bdd.bvar man 2 in
+  let ( &&& ) = Bdd.band man and ( ||| ) = Bdd.bor man in
+  let non = Bdd.bnot man in
+  Alcotest.(check bool) "reduce collapses lo = hi" true
+    (Bdd.node man 7 x0 x0 == x0);
+  Alcotest.(check bool) "and idempotent (physical)" true ((x0 &&& x0) == x0);
+  Alcotest.(check bool) "or idempotent (physical)" true ((x0 ||| x0) == x0);
+  Alcotest.(check bool) "double negation (physical)" true
+    (non (non (x0 &&& x1)) == (x0 &&& x1));
+  Alcotest.(check bool) "de morgan (physical)" true
+    (non (x0 &&& x1) == (non x0 ||| non x1));
+  Alcotest.(check bool) "distribution (physical)" true
+    (((x0 &&& x1) ||| (x0 &&& x2)) == (x0 &&& (x1 ||| x2)));
+  Alcotest.(check bool) "xor via ite (physical)" true
+    (Bdd.bxor man x0 x1 == Bdd.ite man x0 (non x1) x1);
+  let f = (x0 &&& x1) ||| (x1 &&& x2) ||| (x0 &&& x2) in
+  (* eval agrees with the majority function on all 8 assignments *)
+  for m = 0 to 7 do
+    let assign v = (m lsr v) land 1 = 1 in
+    let expected = if (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1) >= 2 then 1 else 0 in
+    Alcotest.(check int) "majority eval" expected (Bdd.eval f assign)
+  done;
+  (* quantification: exists v f == restrict v 0 f \/ restrict v 1 f *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "exists = or of restricts" true
+        (Bdd.exists man v f
+        == (Bdd.restrict man v false f ||| Bdd.restrict man v true f)))
+    [ 0; 1; 2 ];
+  Alcotest.(check bool) "exists of absent var is identity" true
+    (Bdd.exists man 9 f == f);
+  (* renames: inserting then deleting a don't-care variable is identity *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "rename round-trip" true
+        (Bdd.rename_down man p (Bdd.rename_up man p f) == f))
+    [ 0; 1; 2; 3 ];
+  (* tautology and contradiction normalize to the terminal leaves *)
+  Alcotest.(check bool) "tautology is true leaf" true
+    ((x0 ||| non x0) == Bdd.btrue man);
+  Alcotest.(check bool) "contradiction is false leaf" true
+    ((x0 &&& non x0) == Bdd.bfalse man)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic vs dense automata (differential)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* language equality via symmetric-difference emptiness, on the dense
+   side (the oracle) *)
+let lang_equal (a : Dfa.t) (b : Dfa.t) : bool =
+  Dfa.is_empty
+    (Dfa.union
+       (Dfa.inter a (Dfa.complement b))
+       (Dfa.inter b (Dfa.complement a)))
+
+(* random dense automaton of a given width *)
+let gen_dense ~width =
+  let open QCheck.Gen in
+  let letters = 1 lsl width in
+  let* n = int_range 1 4 in
+  let* rows =
+    array_size (return n) (array_size (return letters) (int_bound (n - 1)))
+  in
+  let* accept = array_size (return n) bool in
+  return { Dfa.width; trans = rows; accept; initial = 0 }
+
+let prop_sdfa_ops_agree =
+  let open QCheck.Gen in
+  let gen =
+    let* width = int_range 1 3 in
+    let* a = gen_dense ~width in
+    let* b = gen_dense ~width in
+    let* pos = int_bound (width - 1) in
+    return (a, b, pos)
+  in
+  let print (a, b, pos) =
+    Printf.sprintf "width=%d |a|=%d |b|=%d pos=%d" a.Dfa.width
+      (Array.length a.Dfa.trans) (Array.length b.Dfa.trans) pos
+  in
+  QCheck.Test.make ~name:"sdfa ops agree with dense dfa" ~count:200
+    (QCheck.make ~print gen) (fun (a, b, pos) ->
+      let man = Bdd.manager () in
+      let sa = Sdfa.of_dense man a and sb = Sdfa.of_dense man b in
+      (* round-trip *)
+      lang_equal a (Sdfa.to_dense sa)
+      (* boolean products over reachable pairs *)
+      && lang_equal (Dfa.inter a b) (Sdfa.to_dense (Sdfa.inter sa sb))
+      && lang_equal (Dfa.union a b) (Sdfa.to_dense (Sdfa.union sa sb))
+      && lang_equal (Dfa.complement a) (Sdfa.to_dense (Sdfa.complement sa))
+      (* track insertion and projection at every position *)
+      && lang_equal (Dfa.insert_track a pos)
+           (Sdfa.to_dense (Sdfa.insert_track sa pos))
+      && lang_equal (Dfa.project a pos) (Sdfa.to_dense (Sdfa.project sa pos))
+      (* minimization: same language and the same canonical state count *)
+      && (let dm = Dfa.minimize a and sm = Sdfa.minimize sa in
+          lang_equal dm (Sdfa.to_dense sm)
+          && Dfa.num_states dm = Sdfa.num_states sm)
+      (* witnesses: both empty or both shortest accepted words *)
+      &&
+      match (Dfa.witness a, Sdfa.witness sa) with
+      | None, None -> true
+      | Some w, Some w' ->
+        List.length w = List.length w' && Dfa.accepts a w'
+        && Sdfa.accepts sa w
+      | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* WS1S layer                                                          *)
@@ -332,6 +448,80 @@ let prop_ws1s_qf_vs_enumeration =
       let ws1s_sat = satisfiable f <> None in
       ws1s_sat = brute_sat)
 
+(* both engines must agree on closed quantified formulas too — the
+   fuzz --mona campaign runs the same check over the formgen fragment;
+   this in-tree version also covers first-order binders directly *)
+let prop_ws1s_engines_agree =
+  let open QCheck.Gen in
+  let svar = oneofl [ "X"; "Y"; "Z" ] in
+  let fvar = oneofl [ "p"; "q" ] in
+  let atom =
+    let* x = svar in
+    let* y = svar in
+    let* z = svar in
+    let* p = fvar in
+    let* q = fvar in
+    oneofl
+      [ Pred (Sub (x, y));
+        Pred (EqS (x, y));
+        Pred (EqUnion (x, y, z));
+        Pred (EqInter (x, y, z));
+        Pred (EqDiff (x, y, z));
+        Pred (IsEmpty x);
+        Pred (In (p, x));
+        Pred (LessF (p, q));
+        Pred (LeqF (p, q));
+        Pred (SuccF (p, q));
+        Pred (EqF (p, q));
+        Pred (ZeroF p);
+      ]
+  in
+  let rec form n st =
+    if n = 0 then atom st
+    else
+      frequency
+        [ (3, atom);
+          (2, fun st -> And [ form (n / 2) st; form (n / 2) st ]);
+          (2, fun st -> Or [ form (n / 2) st; form (n / 2) st ]);
+          (2, fun st -> Not (form (n - 1) st));
+          (1, fun st -> Impl (form (n / 2) st, form (n / 2) st));
+          (1, fun st -> Ex2 ("X", form (n - 1) st));
+          (1, fun st -> All2 ("Y", form (n - 1) st));
+          (1, fun st -> Ex1 ("p", form (n - 1) st));
+          (1, fun st -> All1 ("q", form (n - 1) st));
+        ]
+        st
+  in
+  let gen = sized (fun n -> form (min n 6)) in
+  let print _ = "ws1s formula" in
+  QCheck.Test.make ~name:"ws1s engines agree (bdd vs dense)" ~count:120
+    (QCheck.make ~print gen) (fun f ->
+      let fo = [ "p"; "q" ] in
+      valid ~engine:Ws1s.Bdd ~fo f = valid ~engine:Ws1s.Dense ~fo f
+      && (satisfiable ~engine:Ws1s.Bdd ~fo f <> None)
+         = (satisfiable ~engine:Ws1s.Dense ~fo f <> None))
+
+(* a 20-track goal: far beyond the dense engine (2^20-letter transition
+   tables per state), decided by the symbolic engine in test time *)
+let test_ws1s_width20 () =
+  let v i = Printf.sprintf "X%d" i in
+  let n = 20 in
+  let chain =
+    And (List.init (n - 1) (fun i -> Pred (Sub (v i, v (i + 1)))))
+  in
+  let goal = Impl (chain, Pred (Sub (v 0, v (n - 1)))) in
+  let closed =
+    List.fold_right (fun i g -> All2 (v i, g)) (List.init n Fun.id) goal
+  in
+  Alcotest.(check bool) "20-track subset chain is valid" true
+    (valid ~engine:Ws1s.Bdd closed);
+  let wrong = Impl (chain, Pred (Sub (v (n - 1), v 0))) in
+  let closed' =
+    List.fold_right (fun i g -> All2 (v i, g)) (List.init n Fun.id) wrong
+  in
+  Alcotest.(check bool) "reversed chain is not valid" false
+    (valid ~engine:Ws1s.Bdd closed')
+
 let suite =
   [ ( "mona.dfa",
       [ Alcotest.test_case "boolean algebra" `Quick test_dfa_basic;
@@ -339,12 +529,18 @@ let suite =
         Alcotest.test_case "witness" `Quick test_dfa_witness;
         Alcotest.test_case "project" `Quick test_dfa_project;
       ] );
+    ( "mona.bdd",
+      [ Alcotest.test_case "canonicity" `Quick test_bdd_canonicity;
+        QCheck_alcotest.to_alcotest prop_sdfa_ops_agree;
+      ] );
     ( "mona.ws1s",
       [ Alcotest.test_case "set algebra" `Quick test_ws1s_sets;
         Alcotest.test_case "positions" `Quick test_ws1s_positions;
         Alcotest.test_case "finiteness" `Quick test_ws1s_finiteness;
         Alcotest.test_case "free variables" `Quick test_ws1s_free_vars;
         Alcotest.test_case "list shapes" `Quick test_ws1s_list_shapes;
+        Alcotest.test_case "width-20 regression" `Quick test_ws1s_width20;
         QCheck_alcotest.to_alcotest prop_ws1s_qf_vs_enumeration;
+        QCheck_alcotest.to_alcotest prop_ws1s_engines_agree;
       ] );
   ]
